@@ -1,0 +1,87 @@
+//! Criterion benches: wall-clock performance of the simulator running
+//! small-scale versions of the paper's experiments. These guard the
+//! engineering performance of the reproduction itself; the *virtual-time*
+//! results that regenerate the paper's figures come from the harness
+//! binaries in `src/bin/` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi4spark_bench::ohb_runner::{run_cell, OhbBench};
+use mpi4spark_bench::pingpong::{run_pingpong, PingPongTransport};
+use workloads::System;
+
+fn bench_simt_engine(c: &mut Criterion) {
+    c.bench_function("simt_spawn_wake_10k", |b| {
+        b.iter(|| {
+            let sim = simt::Sim::new();
+            sim.spawn("main", || {
+                for i in 0..100u64 {
+                    simt::spawn(format!("t{i}"), move || {
+                        for _ in 0..100 {
+                            simt::sleep(10);
+                        }
+                    });
+                }
+            });
+            sim.run().unwrap();
+            sim.shutdown();
+        })
+    });
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    c.bench_function("fig08_pingpong_nio_64k", |b| {
+        b.iter(|| run_pingpong(PingPongTransport::Nio, 64 << 10, 5))
+    });
+    c.bench_function("fig08_pingpong_mpi_64k", |b| {
+        b.iter(|| run_pingpong(PingPongTransport::NettyMpi, 64 << 10, 5))
+    });
+}
+
+fn bench_ohb_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ohb_groupby_small");
+    g.sample_size(10);
+    for (name, system) in [
+        ("vanilla", System::Vanilla),
+        ("rdma", System::RdmaSpark),
+        ("mpi", System::Mpi4Spark),
+        ("mpi_basic", System::Mpi4SparkBasic),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_cell(system, OhbBench::GroupBy, 2, 4, 1))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ohb_sortby_small");
+    g.sample_size(10);
+    g.bench_function("mpi", |b| b.iter(|| run_cell(System::Mpi4Spark, OhbBench::SortBy, 2, 4, 1)));
+    g.finish();
+}
+
+fn bench_mpi_collectives(c: &mut Criterion) {
+    c.bench_function("rmpi_allgather_8ranks", |b| {
+        b.iter(|| {
+            let sim = simt::Sim::new();
+            sim.spawn("launcher", || {
+                let net = fabric::Net::new(&fabric::ClusterSpec::test(4));
+                let placements: Vec<usize> = (0..8).map(|i| i % 4).collect();
+                rmpi::mpiexec(&net, &placements, |comm| {
+                    for _ in 0..10 {
+                        comm.allgather(u64::from(comm.rank()), 1024).unwrap();
+                    }
+                });
+            });
+            sim.run().unwrap();
+            sim.shutdown();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simt_engine,
+    bench_pingpong,
+    bench_ohb_small,
+    bench_mpi_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: shuffle fetch batching (`spark.reducer.maxSizeInFlight`).
+//!
+//! Sweeps the in-flight byte cap of the `ShuffleBlockFetcherIterator` and
+//! the chunk-per-block vs merged-chunk protocol mode, showing how request
+//! windowing interacts with each transport's per-message overhead.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin ablation_batching`
+
+use mpi4spark_bench::report::{print_table, secs};
+use mpi4spark_bench::Scale;
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::ohb::{group_by_app, OhbConfig};
+use workloads::System;
+
+fn run_with(conf: SparkConf, workers: usize, cores: u32, gb: u64, system: System) -> u64 {
+    let spec = mpi4spark_bench::frontera_cluster(workers);
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+    let cfg = OhbConfig::paper(workers, cores, gb);
+    system.run(&spec, cluster, move |sc| group_by_app(sc, cfg)).total_ns()
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let (workers, cores, gb) = match scale {
+        Scale::Full => (4, 56, 14),
+        Scale::Small => (2, 4, 1),
+    };
+
+    let mut rows = Vec::new();
+    for mb in [12u64, 24, 48, 96, 192] {
+        let mut conf = SparkConf::paper_defaults(cores);
+        conf.max_bytes_in_flight = mb << 20;
+        conf.target_request_size = conf.max_bytes_in_flight / 5;
+        let v = run_with(conf, workers, cores, gb, System::Vanilla);
+        let m = run_with(conf, workers, cores, gb, System::Mpi4Spark);
+        rows.push(vec![
+            format!("{mb}MB"),
+            secs(v),
+            secs(m),
+            format!("{:.2}x", v as f64 / m as f64),
+        ]);
+    }
+    print_table(
+        "Ablation — maxBytesInFlight sweep, OHB GroupBy",
+        &["maxBytesInFlight", "IPoIB total(s)", "MPI total(s)", "speedup"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for merged in [true, false] {
+        let mut conf = SparkConf::paper_defaults(cores);
+        conf.merge_chunks_per_request = merged;
+        let v = run_with(conf, workers, cores, gb, System::Vanilla);
+        let m = run_with(conf, workers, cores, gb, System::Mpi4Spark);
+        rows.push(vec![
+            if merged { "merged-per-request" } else { "chunk-per-block" }.to_string(),
+            secs(v),
+            secs(m),
+            format!("{:.2}x", v as f64 / m as f64),
+        ]);
+    }
+    print_table(
+        "Ablation — chunk granularity (merged vs Spark's chunk-per-block)",
+        &["mode", "IPoIB total(s)", "MPI total(s)", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,73 @@
+//! Ablation: the Basic design's polling cost (§VI-D / §VII-B).
+//!
+//! Sweeps the modeled selector-spin load and per-message probe cost to show
+//! the mechanism behind Fig. 9: as polling burns more CPU, Basic's runtime
+//! degrades while Optimized (no spinning) is unaffected.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin ablation_polling`
+
+use std::sync::Arc;
+
+use fabric::Net;
+use mpi4spark_bench::report::{print_table, secs};
+use mpi4spark_bench::Scale;
+use mpi4spark::transport::BasicTuning;
+use mpi4spark::{Design, MpiBackend};
+use simt::sync::OnceCell;
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::ohb::{group_by_app, OhbConfig};
+
+fn run_basic_with(tuning: BasicTuning, workers: usize, cores: u32, gb: u64) -> u64 {
+    let spec = mpi4spark_bench::frontera_cluster(workers);
+    let conf = SparkConf::paper_defaults(cores);
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+    let cfg = OhbConfig::paper(workers, cores, gb);
+    let sim = simt::Sim::new();
+    let out: OnceCell<u64> = OnceCell::new();
+    let out2 = out.clone();
+    sim.spawn("launcher", move || {
+        let net = Net::new(&spec);
+        let backend = Arc::new(MpiBackend::new(Design::Basic).with_basic_tuning(tuning));
+        let (_r, jobs) = mpi4spark::launch::run_app_with_backend(&net, &cluster, backend, move |sc| {
+            group_by_app(sc, cfg)
+        });
+        out2.put(jobs.iter().map(|j| j.duration_ns()).sum());
+    });
+    sim.run().expect("sim").assert_clean();
+    let v = out.try_take().expect("done");
+    sim.shutdown();
+    v
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let (workers, cores, gb) = match scale {
+        Scale::Full => (2, 56, 14),
+        Scale::Small => (2, 4, 1),
+    };
+
+    let mut rows = Vec::new();
+    for load in [0.0, 2.0, 4.0, 8.0, 16.0] {
+        let tuning = BasicTuning { poll_load_per_endpoint: load, ..Default::default() };
+        let total = run_basic_with(tuning, workers, cores, gb);
+        rows.push(vec![format!("{load:.0}"), secs(total)]);
+    }
+    print_table(
+        "Ablation — Basic design: selector spin load per endpoint vs GroupBy runtime",
+        &["spin threads/endpoint", "total(s)"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for poll_ns in [0u64, 3_000, 6_000, 12_000, 24_000] {
+        let tuning = BasicTuning { per_message_poll_ns: poll_ns, ..Default::default() };
+        let total = run_basic_with(tuning, workers, cores, gb);
+        rows.push(vec![format!("{:.0}us", poll_ns as f64 / 1e3), secs(total)]);
+    }
+    print_table(
+        "Ablation — Basic design: per-message iprobe cost vs GroupBy runtime",
+        &["probe cost/msg", "total(s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,33 @@
+//! Fig. 8: Netty ping-pong latency (µs), NIO vs Netty+MPI, small and large
+//! message panels, on the internal cluster (IB-EDR).
+//!
+//! Paper target: "Netty+MPI performs considerably better with speedups of
+//! up to 9× for 4MB messages."
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin fig08_pingpong`
+
+use mpi4spark_bench::pingpong::{fig8_sizes, run_pingpong, PingPongTransport};
+use mpi4spark_bench::report::{micros, print_table};
+
+fn main() {
+    let iters = 10;
+    let (small, large) = fig8_sizes();
+    for (panel, sizes) in [("Small", small), ("Large", large)] {
+        let mut rows = Vec::new();
+        for size in sizes {
+            let nio = run_pingpong(PingPongTransport::Nio, size, iters);
+            let mpi = run_pingpong(PingPongTransport::NettyMpi, size, iters);
+            rows.push(vec![
+                if size < 1024 { format!("{size}B") } else { format!("{}K", size / 1024) },
+                micros(nio),
+                micros(mpi),
+                format!("{:.2}x", nio as f64 / mpi as f64),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 8 — Netty ping-pong latency, {panel} messages (internal cluster, IB-EDR)"),
+            &["size", "NIO (us)", "Netty+MPI (us)", "speedup"],
+            &rows,
+        );
+    }
+}

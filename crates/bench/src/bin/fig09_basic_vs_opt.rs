@@ -1,0 +1,44 @@
+//! Fig. 9: MPI4Spark-Basic vs MPI4Spark-Optimized vs Vanilla Spark, OHB
+//! GroupByTest and SortByTest, 28 GB @ 112 cores and 56 GB @ 224 cores on
+//! Frontera.
+//!
+//! Paper target: Optimized beats Basic because Basic's selector loop spins
+//! in non-blocking `select()` + `MPI_Iprobe`, "consuming CPU time hence
+//! starving the actual compute tasks" (§VII-B).
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin fig09_basic_vs_opt`
+
+use mpi4spark_bench::ohb_runner::{run_cell, OhbBench};
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::Scale;
+use workloads::System;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cores = scale.frontera_cores();
+    let gb = scale.gb(14);
+    let systems = [System::Vanilla, System::Mpi4SparkBasic, System::Mpi4Spark];
+
+    for bench in [OhbBench::GroupBy, OhbBench::SortBy] {
+        let mut rows = Vec::new();
+        for workers in [scale.workers(2).max(2), scale.workers(4).max(2)] {
+            let cells: Vec<_> =
+                systems.iter().map(|s| (*s, run_cell(*s, bench, workers, cores, gb))).collect();
+            let vanilla = cells[0].1;
+            for (system, cell) in &cells {
+                rows.push(vec![
+                    format!("{}GB/{}c", gb * workers as u64, workers * cores as usize),
+                    system.label().to_string(),
+                    secs(cell.total_ns),
+                    secs(cell.breakdown.shuffle_read_ns),
+                    ratio(vanilla.total_ns, cell.total_ns),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 9 — Basic vs Optimized, OHB {} (Frontera)", bench.name()),
+            &["config", "system", "total(s)", "read(s)", "speedup-vs-IPoIB"],
+            &rows,
+        );
+    }
+}

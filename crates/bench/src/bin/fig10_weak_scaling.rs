@@ -1,0 +1,55 @@
+//! Fig. 10: weak-scaling stage breakdown for OHB GroupByTest and SortByTest
+//! on TACC Frontera (14 GB/worker; 8, 16, 32 workers; IPoIB vs RDMA vs MPI).
+//!
+//! Paper targets at 448 cores (8 workers): GroupBy total 4.23x vs IPoIB and
+//! 2.04x vs RDMA; shuffle-read 13.08x / 5.56x. At 1792 cores (32 workers):
+//! total 3.78x / 2.07x.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin fig10_weak_scaling`
+//! (add `--scale small` for a smoke run).
+
+use mpi4spark_bench::ohb_runner::{run_cell, OhbBench, OhbCell};
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::Scale;
+use workloads::System;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cores = scale.frontera_cores();
+    let gb = scale.gb(14);
+    let workers_list: Vec<usize> = [8usize, 16, 32].iter().map(|w| scale.workers(*w)).collect();
+    let systems = [System::Vanilla, System::RdmaSpark, System::Mpi4Spark];
+
+    for bench in [OhbBench::GroupBy, OhbBench::SortBy] {
+        let mut rows = Vec::new();
+        for &workers in &workers_list {
+            let mut cells: Vec<(System, OhbCell)> = Vec::new();
+            for system in systems {
+                let cell = run_cell(system, bench, workers, cores, gb);
+                cells.push((system, cell));
+            }
+            let vanilla = cells[0].1;
+            for (system, cell) in &cells {
+                rows.push(vec![
+                    format!("{workers}w/{}c", workers * cores as usize),
+                    format!("{}GB", gb * workers as u64),
+                    system.label().to_string(),
+                    secs(cell.breakdown.datagen_ns),
+                    secs(cell.breakdown.shuffle_write_ns),
+                    secs(cell.breakdown.shuffle_read_ns),
+                    secs(cell.total_ns),
+                    ratio(vanilla.total_ns, cell.total_ns),
+                    ratio(vanilla.breakdown.shuffle_read_ns, cell.breakdown.shuffle_read_ns),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 10 — Weak scaling, OHB {} (Frontera, {gb} GB/worker)", bench.name()),
+            &[
+                "scale", "data", "system", "datagen(s)", "write(s)", "read(s)", "total(s)",
+                "total-speedup", "read-speedup",
+            ],
+            &rows,
+        );
+    }
+}

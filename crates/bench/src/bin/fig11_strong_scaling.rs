@@ -1,0 +1,51 @@
+//! Fig. 11: strong-scaling stage breakdown for OHB GroupByTest and
+//! SortByTest on Frontera — 224 GB total across 8, 16, and 32 workers.
+//!
+//! Paper targets at 448 cores: GroupBy 3.72x vs IPoIB / 2.06x vs RDMA;
+//! SortBy 3.51x / 1.41x.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin fig11_strong_scaling`
+
+use mpi4spark_bench::ohb_runner::{run_cell, OhbBench, OhbCell};
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::Scale;
+use workloads::System;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cores = scale.frontera_cores();
+    let total_gb = scale.gb(224);
+    let workers_list: Vec<usize> = [8usize, 16, 32].iter().map(|w| scale.workers(*w)).collect();
+    let systems = [System::Vanilla, System::RdmaSpark, System::Mpi4Spark];
+
+    for bench in [OhbBench::GroupBy, OhbBench::SortBy] {
+        let mut rows = Vec::new();
+        for &workers in &workers_list {
+            let gb_per_worker = (total_gb / workers as u64).max(1);
+            let mut cells: Vec<(System, OhbCell)> = Vec::new();
+            for system in systems {
+                cells.push((system, run_cell(system, bench, workers, cores, gb_per_worker)));
+            }
+            let vanilla = cells[0].1;
+            for (system, cell) in &cells {
+                rows.push(vec![
+                    format!("{workers}w/{}c", workers * cores as usize),
+                    system.label().to_string(),
+                    secs(cell.breakdown.datagen_ns),
+                    secs(cell.breakdown.shuffle_write_ns),
+                    secs(cell.breakdown.shuffle_read_ns),
+                    secs(cell.total_ns),
+                    ratio(vanilla.total_ns, cell.total_ns),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Fig. 11 — Strong scaling, OHB {} (Frontera, {total_gb} GB total)",
+                bench.name()
+            ),
+            &["scale", "system", "datagen(s)", "write(s)", "read(s)", "total(s)", "speedup"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 12: Intel HiBench workloads at the Huge size.
+//!
+//! * `--system frontera` (default): 16 workers × 56 cores (896 cores),
+//!   IB-HDR; systems IPoIB / RDMA / MPI; workloads LDA, SVM, GMM,
+//!   Repartition (panel a) and NWeight, TeraSort (panel b).
+//!   Paper targets: LDA 1.74x/1.66x, SVM 1.17x/1.10x, GMM 1.50x,
+//!   Repartition 1.49x, NWeight 1.61x (≈RDMA), TeraSort ≈par.
+//! * `--system stampede2`: 8 workers × 48 cores (384 cores / 768 threads),
+//!   Omni-Path; no RDMA-Spark (IB-only); workloads LR, GMM, SVM,
+//!   Repartition. Paper targets: 2.17x, 1.09x, 1.16x, 1.48x.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin fig12_hibench -- --system frontera`
+
+use mpi4spark_bench::hibench::{run_hibench, HiBenchParams, HiBenchWorkload};
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::Scale;
+use workloads::System;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let system_name = args
+        .iter()
+        .position(|a| a == "--system")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str().to_string())
+        .unwrap_or_else(|| "frontera".to_string());
+    let scale = Scale::from_env_args();
+    let shrink = match scale {
+        Scale::Full => 1,
+        Scale::Small => 32,
+    };
+
+    let (spec, params, workloads_list, title) = match system_name.as_str() {
+        "stampede2" => {
+            let workers = scale.workers(8).max(2);
+            let cores = match scale {
+                Scale::Full => 96, // 48 cores × 2 HT, per §VII-C
+                Scale::Small => 4,
+            };
+            (
+                mpi4spark_bench::stampede2_cluster(workers),
+                HiBenchParams { workers, cores, shrink },
+                HiBenchWorkload::stampede2_set(),
+                "Fig. 12(c) — HiBench Huge on Stampede2 (OPA, 384 cores / 768 threads)",
+            )
+        }
+        _ => {
+            let workers = scale.workers(16).max(2);
+            let cores = scale.frontera_cores();
+            (
+                mpi4spark_bench::frontera_cluster(workers),
+                HiBenchParams { workers, cores, shrink },
+                HiBenchWorkload::frontera_set(),
+                "Fig. 12(a,b) — HiBench Huge on Frontera (IB-HDR, 896 cores)",
+            )
+        }
+    };
+
+    let systems = System::available_on(&spec);
+    let mut rows = Vec::new();
+    for w in workloads_list {
+        let mut cells = Vec::new();
+        for s in &systems {
+            cells.push((*s, run_hibench(*s, &spec, params, w)));
+        }
+        let vanilla = cells[0].1;
+        for (s, total) in &cells {
+            rows.push(vec![
+                w.name().to_string(),
+                s.label().to_string(),
+                secs(*total),
+                ratio(vanilla, *total),
+            ]);
+        }
+    }
+    print_table(title, &["workload", "system", "total(s)", "speedup-vs-IPoIB"], &rows);
+}

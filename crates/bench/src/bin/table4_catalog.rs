@@ -1,0 +1,69 @@
+//! Table IV: the benchmark catalog — every workload of both suites runs
+//! (at smoke scale) and reports its category and a sanity value.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin table4_catalog`
+
+use mpi4spark_bench::report::print_table;
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::graph::{nweight_app, NWeightConfig};
+use workloads::micro::{repartition_app, terasort_app, MicroConfig};
+use workloads::ml::{gmm_app, lda_app, lr_app, svm_app, MlConfig};
+use workloads::ohb::{group_by_app, sort_by_app, OhbConfig};
+use workloads::System;
+
+fn main() {
+    let spec = mpi4spark_bench::frontera_cluster(2);
+    let conf = SparkConf::paper_defaults(4);
+    let cluster = || ClusterConfig::paper_layout(spec.len(), conf);
+    let ohb = OhbConfig { partitions: 8, records_per_partition: 32, value_bytes: 1 << 14, key_range: 64, seed: 4 };
+    let micro = MicroConfig { partitions: 8, records_per_partition: 24, record_bytes: 1 << 13, seed: 4 };
+    let ml = MlConfig {
+        partitions: 8,
+        samples_per_partition: 96,
+        virtual_samples_per_partition: 96,
+        dim: 8,
+        iterations: 3,
+        agg_partitions: 4,
+        pad_bytes: 2048,
+        seed: 4,
+    };
+    let nw = NWeightConfig { vertices: 64, degree: 3, hops: 2, partitions: 8, payload_pad: 256, seed: 4 };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let sys = System::Mpi4Spark;
+    let mut add = |suite: &str, name: &str, desc: &str, cat: &str, value: String| {
+        rows.push(vec![
+            suite.to_string(),
+            name.to_string(),
+            desc.to_string(),
+            cat.to_string(),
+            value,
+        ]);
+    };
+
+    let r = sys.run(&spec, cluster(), move |sc| svm_app(sc, ml));
+    add("HiBench", "SVM", "large-scale classification", "Machine Learning", format!("loss={:.3}", r.result.final_loss));
+    let r = sys.run(&spec, cluster(), move |sc| lda_app(sc, ml, 32, 4));
+    add("HiBench", "LDA", "topic model over documents", "Machine Learning", format!("nll={:.1}", r.result.final_loss));
+    let r = sys.run(&spec, cluster(), move |sc| gmm_app(sc, ml, 2));
+    add("HiBench", "GMM", "k-Gaussian mixture via EM", "Machine Learning", format!("nll={:.3}", r.result.final_loss));
+    let r = sys.run(&spec, cluster(), move |sc| lr_app(sc, ml));
+    add("HiBench", "LR", "categorical response prediction", "Machine Learning", format!("loss={:.3}", r.result.final_loss));
+    let r = sys.run(&spec, cluster(), move |sc| repartition_app(sc, micro));
+    add("HiBench", "Repartition", "shuffle performance", "Micro Benchmarks", format!("records={}", r.result));
+    let r = sys.run(&spec, cluster(), move |sc| terasort_app(sc, micro));
+    add("HiBench", "TeraSort", "standard sort of input data", "Micro Benchmarks", format!("records={}", r.result));
+    let r = sys.run(&spec, cluster(), move |sc| nweight_app(sc, nw));
+    add("HiBench", "NWeight", "n-hop vertex associations", "Graph", format!("pairs={}", r.result));
+    let r = sys.run(&spec, cluster(), move |sc| group_by_app(sc, ohb));
+    add("OHB", "GroupBy", "group values per key", "RDD Benchmarks", format!("groups={}", r.result));
+    let r = sys.run(&spec, cluster(), move |sc| sort_by_app(sc, ohb));
+    add("OHB", "SortBy", "sort the RDD by key", "RDD Benchmarks", format!("records={}", r.result));
+
+    print_table(
+        "Table IV — Benchmark suites, workloads, and categories (all runnable under MPI4Spark)",
+        &["suite", "workload", "description", "category", "check"],
+        &rows,
+    );
+}

@@ -1,0 +1,95 @@
+//! Runner for the OHB RDD benchmark cells (Figs. 9, 10, 11).
+
+use fabric::ClusterSpec;
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::ohb::{group_by_app, sort_by_app, OhbConfig, StageBreakdown};
+use workloads::System;
+
+/// Which OHB benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OhbBench {
+    /// GroupByTest.
+    GroupBy,
+    /// SortByTest.
+    SortBy,
+}
+
+impl OhbBench {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OhbBench::GroupBy => "GroupByTest",
+            OhbBench::SortBy => "SortByTest",
+        }
+    }
+}
+
+/// One experiment cell's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct OhbCell {
+    /// Stage breakdown (paper Fig. 10/11 bars).
+    pub breakdown: StageBreakdown,
+    /// Total virtual runtime over all jobs.
+    pub total_ns: u64,
+    /// Workload sanity value (group/record count).
+    pub check: u64,
+}
+
+/// Run one OHB cell: `bench` under `system` with `workers` workers of
+/// `cores` cores each and `gb_per_worker` GiB of generated data.
+pub fn run_cell(
+    system: System,
+    bench: OhbBench,
+    workers: usize,
+    cores: u32,
+    gb_per_worker: u64,
+) -> OhbCell {
+    let spec = crate::frontera_cluster(workers);
+    run_cell_on(&spec, system, bench, workers, cores, gb_per_worker)
+}
+
+/// [`run_cell`] on an explicit cluster spec.
+pub fn run_cell_on(
+    spec: &ClusterSpec,
+    system: System,
+    bench: OhbBench,
+    workers: usize,
+    cores: u32,
+    gb_per_worker: u64,
+) -> OhbCell {
+    let conf = SparkConf::paper_defaults(cores);
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+    assert_eq!(cluster.worker_nodes.len(), workers);
+    let cfg = OhbConfig::paper(workers, cores, gb_per_worker);
+    let outcome = match bench {
+        OhbBench::GroupBy => system.run(spec, cluster, move |sc| group_by_app(sc, cfg)),
+        OhbBench::SortBy => system.run(spec, cluster, move |sc| sort_by_app(sc, cfg)),
+    };
+    let breakdown = StageBreakdown::from_jobs(&outcome.jobs);
+    OhbCell { breakdown, total_ns: outcome.total_ns(), check: outcome.result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_groupby_cell_runs_all_systems() {
+        for system in [System::Vanilla, System::RdmaSpark, System::Mpi4Spark] {
+            let cell = run_cell(system, OhbBench::GroupBy, 2, 4, 1);
+            assert!(cell.check > 0);
+            assert!(cell.breakdown.shuffle_read_ns > 0);
+        }
+    }
+
+    #[test]
+    fn groupby_ordering_holds_at_small_scale() {
+        let van = run_cell(System::Vanilla, OhbBench::GroupBy, 2, 4, 1);
+        let rdma = run_cell(System::RdmaSpark, OhbBench::GroupBy, 2, 4, 1);
+        let mpi = run_cell(System::Mpi4Spark, OhbBench::GroupBy, 2, 4, 1);
+        assert!(van.breakdown.shuffle_read_ns > rdma.breakdown.shuffle_read_ns);
+        assert!(rdma.breakdown.shuffle_read_ns > mpi.breakdown.shuffle_read_ns);
+        assert!(van.total_ns > mpi.total_ns);
+    }
+}

@@ -1,0 +1,62 @@
+//! Plain-text table rendering for harness output.
+
+/// Render a table with a header row; columns auto-sized.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        s
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format nanoseconds as seconds with 2 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e9)
+}
+
+/// Format nanoseconds as microseconds with 1 decimal.
+pub fn micros(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Format a speedup ratio like the paper ("4.23x").
+pub fn ratio(baseline_ns: u64, other_ns: u64) -> String {
+    if other_ns == 0 {
+        return "-".to_string();
+    }
+    format!("{:.2}x", baseline_ns as f64 / other_ns as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats_like_the_paper() {
+        assert_eq!(ratio(4230, 1000), "4.23x");
+        assert_eq!(ratio(100, 0), "-");
+    }
+
+    #[test]
+    fn secs_and_micros() {
+        assert_eq!(secs(2_500_000_000), "2.50");
+        assert_eq!(micros(12_345), "12.3");
+    }
+}

@@ -1,0 +1,114 @@
+//! The MPI4Spark network backend: plugs the MPI transports into sparklet's
+//! networking seams.
+
+use std::sync::Arc;
+
+use fabric::Net;
+use netz::{RpcHandler, TransportConf, TransportContext};
+use sparklet::net_backend::{NetworkBackend, ProcIdentity};
+
+use crate::ctx::MpiProcCtx;
+use crate::transport::{BasicTuning, MpiTransportBasic, MpiTransportOptimized};
+
+/// Which of the paper's two designs to run (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// All messages over MPI; polling selector loop (§VI-D).
+    Basic,
+    /// Only shuffle bodies over MPI; header-triggered receives (§VI-E).
+    Optimized,
+}
+
+/// MPI4Spark's backend. Both planes (control RPC and shuffle) run the MPI
+/// transport — the paper modifies Netty itself, under all of Spark's
+/// messaging.
+pub struct MpiBackend {
+    design: Design,
+    conf: TransportConf,
+    basic_tuning: BasicTuning,
+}
+
+impl MpiBackend {
+    /// Backend for `design` with default socket conf for the establishment
+    /// path.
+    pub fn new(design: Design) -> Self {
+        MpiBackend {
+            design,
+            conf: TransportConf::default_sockets(),
+            basic_tuning: BasicTuning::default(),
+        }
+    }
+
+    /// Override the Basic design's polling tunables (ablation benches).
+    pub fn with_basic_tuning(mut self, tuning: BasicTuning) -> Self {
+        self.basic_tuning = tuning;
+        self
+    }
+
+    /// The selected design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    fn make_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        let ctx = identity
+            .ext
+            .clone()
+            .and_then(|e| e.downcast::<MpiProcCtx>().ok())
+            .unwrap_or_else(|| {
+                panic!(
+                    "process '{}' has no MpiProcCtx: MPI4Spark processes must be \
+                     started by the mpi4spark launcher (paper §V)",
+                    identity.name
+                )
+            });
+        let transport: Arc<dyn netz::Transport> = match self.design {
+            Design::Optimized => Arc::new(MpiTransportOptimized::new(ctx)),
+            Design::Basic => Arc::new(MpiTransportBasic::with_tuning(ctx, self.basic_tuning)),
+        };
+        TransportContext::with_transport(net.clone(), self.conf, handler, transport)
+    }
+}
+
+impl NetworkBackend for MpiBackend {
+    fn name(&self) -> &'static str {
+        match self.design {
+            Design::Basic => "mpi4spark-basic",
+            Design::Optimized => "mpi4spark",
+        }
+    }
+
+    fn rpc_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        self.make_context(identity, net, handler)
+    }
+
+    fn shuffle_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        self.make_context(identity, net, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_distinguish_designs() {
+        assert_eq!(MpiBackend::new(Design::Optimized).name(), "mpi4spark");
+        assert_eq!(MpiBackend::new(Design::Basic).name(), "mpi4spark-basic");
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-process MPI context injected into Spark processes by the launcher.
+
+use std::sync::Arc;
+
+use netz::CommKind;
+use parking_lot::Mutex;
+use rmpi::Comm;
+
+/// MPI identity of one Spark process: its primary intracommunicator (the
+/// wrapper `MPI_COMM_WORLD` for master/driver/workers; the child world —
+/// the paper's `DPM_COMM` — for executors) and the intercommunicator to the
+/// other group. Travels as the `ProcIdentity::ext` payload.
+pub struct MpiProcCtx {
+    /// Which group this process belongs to.
+    pub kind: CommKind,
+    /// Primary intracommunicator.
+    pub world: Comm,
+    inter: Mutex<Option<Comm>>,
+    router: Mutex<Option<Arc<crate::transport::BasicRouter>>>,
+}
+
+impl MpiProcCtx {
+    /// Context for a wrapper-world process (worker/master/driver).
+    pub fn world_proc(world: Comm) -> Arc<Self> {
+        Arc::new(MpiProcCtx {
+            kind: CommKind::World,
+            world,
+            inter: Mutex::new(None),
+            router: Mutex::new(None),
+        })
+    }
+
+    /// Context for a DPM-spawned executor: child world + parent intercomm.
+    pub fn dpm_proc(child_world: Comm, parent: Comm) -> Arc<Self> {
+        Arc::new(MpiProcCtx {
+            kind: CommKind::Dpm,
+            world: child_world,
+            inter: Mutex::new(Some(parent)),
+            router: Mutex::new(None),
+        })
+    }
+
+    /// Record the intercommunicator (wrapper agents call this right after
+    /// `spawn_multiple` returns).
+    pub fn set_inter(&self, inter: Comm) {
+        *self.inter.lock() = Some(inter);
+    }
+
+    /// The intercommunicator, when already established.
+    pub fn inter(&self) -> Option<Comm> {
+        self.inter.lock().clone()
+    }
+
+    /// Block (in virtual time) until the intercommunicator exists. Only
+    /// reachable before the DPM spawn completes, which cannot happen on any
+    /// path that also has an executor peer — the wait is a safety net.
+    pub fn inter_blocking(&self) -> Comm {
+        loop {
+            if let Some(c) = self.inter() {
+                return c;
+            }
+            simt::sleep(simt::time::micros(10));
+        }
+    }
+
+    /// My rank within my primary communicator (what the handshake carries).
+    pub fn rank(&self) -> u32 {
+        self.world.rank()
+    }
+
+    /// Resolve the communicator and destination rank for a peer identified
+    /// by its handshake `(rank, kind)` — the rank↔channel mapping plus
+    /// communicator-type selection of paper §VI-B.
+    pub fn route(&self, peer_rank: u32, peer_kind: CommKind) -> (Comm, u32) {
+        if peer_kind == self.kind {
+            (self.world.clone(), peer_rank)
+        } else {
+            // Cross-group: the intercommunicator addresses the remote
+            // group, where a peer's rank equals its own-world rank (group A
+            // = WORLD in rank order; group B = children in spawn order).
+            (self.inter_blocking(), peer_rank)
+        }
+    }
+
+    /// The per-process Basic-design router (lazily created).
+    pub(crate) fn basic_router(self: &Arc<Self>) -> Arc<crate::transport::BasicRouter> {
+        let mut r = self.router.lock();
+        if let Some(router) = r.as_ref() {
+            return router.clone();
+        }
+        let router = crate::transport::BasicRouter::new();
+        *r = Some(router.clone());
+        router
+    }
+}
+
+impl std::fmt::Debug for MpiProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiProcCtx")
+            .field("kind", &self.kind)
+            .field("rank", &self.world.rank())
+            .field("has_inter", &self.inter.lock().is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,136 @@
+//! Message payloads with independent *real* and *virtual* sizes.
+//!
+//! The paper shuffles hundreds of gigabytes; reproducing that with real bytes
+//! would be pointless and slow. Instead a payload carries:
+//!
+//! * `bytes` — real bytes that are actually transported and can be decoded
+//!   (headers, small control frames, scaled-down data in tests), and
+//! * `virtual_len` — the byte count charged against NIC links, bandwidth,
+//!   and per-byte CPU costs.
+//!
+//! Functional tests run with `virtual_len == bytes.len()`; benchmark
+//! workloads inflate `virtual_len` to paper-scale sizes. The timing model
+//! only ever sees `virtual_len`, so ratios are unaffected by the shortcut.
+//!
+//! A payload may additionally carry a typed in-memory `value` (an
+//! `Arc<dyn Any>`): the simulation equivalent of Java serialization for
+//! control-plane objects (task descriptions, map statuses). Using real
+//! in-memory objects for the control plane is a documented substitution —
+//! the paper's performance story is entirely about the data plane.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+/// A message body with real bytes, a virtual wire size, and an optional
+/// typed control object.
+#[derive(Clone)]
+pub struct Payload {
+    /// Real bytes (decoded by codecs).
+    pub bytes: Bytes,
+    /// Bytes charged by the cost models.
+    pub virtual_len: u64,
+    /// Typed control cargo (simulation stand-in for serialized objects).
+    pub value: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload { bytes: Bytes::new(), virtual_len: 0, value: None }
+    }
+
+    /// A payload of real bytes; virtual size equals the real size.
+    pub fn bytes(bytes: Bytes) -> Self {
+        let virtual_len = bytes.len() as u64;
+        Payload { bytes, virtual_len, value: None }
+    }
+
+    /// Real bytes with an inflated virtual size (benchmark data plane).
+    ///
+    /// # Panics
+    /// If `virtual_len < bytes.len()` — the virtual size may never undercut
+    /// the real bytes actually carried.
+    pub fn bytes_scaled(bytes: Bytes, virtual_len: u64) -> Self {
+        assert!(
+            virtual_len >= bytes.len() as u64,
+            "virtual_len {} < real len {}",
+            virtual_len,
+            bytes.len()
+        );
+        Payload { bytes, virtual_len, value: None }
+    }
+
+    /// A typed control object charged as `virtual_len` wire bytes.
+    pub fn control<T: Any + Send + Sync>(value: T, virtual_len: u64) -> Self {
+        Payload { bytes: Bytes::new(), virtual_len, value: Some(Arc::new(value)) }
+    }
+
+    /// A typed control object wrapped from an existing `Arc`.
+    pub fn control_arc(value: Arc<dyn Any + Send + Sync>, virtual_len: u64) -> Self {
+        Payload { bytes: Bytes::new(), virtual_len, value: Some(value) }
+    }
+
+    /// Downcast the control object. Returns `None` when absent or of a
+    /// different type.
+    pub fn value_as<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.value.clone().and_then(|v| v.downcast::<T>().ok())
+    }
+
+    /// True when neither bytes nor a control object is present.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty() && self.value.is_none()
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Payload")
+            .field("real_len", &self.bytes.len())
+            .field("virtual_len", &self.virtual_len)
+            .field("has_value", &self.value.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_payload_virtual_equals_real() {
+        let p = Payload::bytes(Bytes::from_static(b"hello"));
+        assert_eq!(p.virtual_len, 5);
+        assert_eq!(&p.bytes[..], b"hello");
+        assert!(p.value.is_none());
+    }
+
+    #[test]
+    fn scaled_payload_keeps_declared_size() {
+        let p = Payload::bytes_scaled(Bytes::from_static(b"k"), 1 << 20);
+        assert_eq!(p.virtual_len, 1 << 20);
+        assert_eq!(p.bytes.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual_len")]
+    fn scaled_payload_rejects_undercut() {
+        let _ = Payload::bytes_scaled(Bytes::from_static(b"hello"), 2);
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        let p = Payload::control(vec![1u32, 2, 3], 64);
+        let v = p.value_as::<Vec<u32>>().unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert!(p.value_as::<String>().is_none());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(Payload::empty().is_empty());
+        assert!(!Payload::bytes(Bytes::from_static(b"x")).is_empty());
+        assert!(!Payload::control(1u8, 1).is_empty());
+    }
+}

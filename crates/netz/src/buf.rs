@@ -1,0 +1,179 @@
+//! Minimal byte-buffer reader/writer used by the message codec.
+//!
+//! Netty's `ByteBuf` tracks independent reader/writer indices over pooled
+//! memory; here a thin cursor over `bytes::BytesMut`/`Bytes` suffices — the
+//! codec only ever appends on write and scans forward on read.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: BytesMut,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New writer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Append a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+
+    /// Append raw bytes.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string (u32 length).
+    pub fn put_string(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.put_slice(v.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Forward-scanning decoder. All methods return `None` on underrun rather
+/// than panicking, so malformed frames surface as codec errors.
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_be_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_be_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `i64`.
+    pub fn get_i64(&mut self) -> Option<i64> {
+        self.take(8).map(|s| i64::from_be_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Option<String> {
+        let len = self.get_u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        let b = w.freeze();
+        let mut r = ByteReader::new(&b);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Some(u64::MAX - 3));
+        assert_eq!(r.get_i64(), Some(-42));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_strings() {
+        let mut w = ByteWriter::new();
+        w.put_string("shuffle_0_1_2");
+        w.put_string("");
+        w.put_string("ünïcödé");
+        let b = w.freeze();
+        let mut r = ByteReader::new(&b);
+        assert_eq!(r.get_string().as_deref(), Some("shuffle_0_1_2"));
+        assert_eq!(r.get_string().as_deref(), Some(""));
+        assert_eq!(r.get_string().as_deref(), Some("ünïcödé"));
+    }
+
+    #[test]
+    fn underrun_returns_none() {
+        let b = Bytes::from_static(&[1, 2, 3]);
+        let mut r = ByteReader::new(&b);
+        assert_eq!(r.get_u32(), None);
+        // Failed read must not consume.
+        assert_eq!(r.get_u8(), Some(1));
+    }
+
+    #[test]
+    fn bogus_string_length_is_error_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000); // claims a huge string
+        w.put_slice(b"tiny");
+        let b = w.freeze();
+        let mut r = ByteReader::new(&b);
+        assert_eq!(r.get_string(), None);
+    }
+}

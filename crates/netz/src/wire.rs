@@ -1,0 +1,118 @@
+//! On-the-wire events exchanged between endpoints over the fabric.
+//!
+//! One fabric port per endpoint plays the role of a Netty selector: every
+//! channel's traffic is multiplexed onto it and demultiplexed by
+//! [`ChannelId`]. Connection establishment stays on the socket path for
+//! *every* transport — the paper keeps Netty's connection establishment and
+//! exchanges the MPI rank plus a communicator-type byte during it (§VI-B).
+
+use bytes::Bytes;
+use fabric::{PortAddr, Payload};
+
+use crate::channel::ChannelId;
+
+/// Which MPI communicator a peer is reachable through (paper §VI-B: the
+/// "communicator type" byte sent during connection establishment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum CommKind {
+    /// Peer is not an MPI process (pure-socket transport).
+    #[default]
+    None = 0,
+    /// Peer lives in `MPI_COMM_WORLD` (wrapper/master/driver/worker ranks).
+    World = 1,
+    /// Peer lives in the merged DPM communicator (executors).
+    Dpm = 2,
+}
+
+/// Identity exchanged during connection establishment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Handshake {
+    /// The peer's node (always known).
+    pub node: usize,
+    /// The peer's MPI rank within `comm`, when the transport is MPI-based.
+    pub mpi_rank: Option<u32>,
+    /// Communicator the rank is valid in.
+    pub comm: CommKind,
+}
+
+/// A framed message: encoded header plus (possibly virtual) body.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Encoded `MessageWithHeader` header.
+    pub header: Bytes,
+    /// Body payload. For transports that move bodies out-of-band this is
+    /// empty and the body is reattached by a pipeline handler.
+    pub body: Payload,
+}
+
+impl Frame {
+    /// Total virtual bytes this frame occupies on the socket path.
+    pub fn socket_virtual_len(&self) -> u64 {
+        self.header.len() as u64 + self.body.virtual_len
+    }
+}
+
+/// Events carried between endpoints on the socket path.
+#[derive(Debug, Clone)]
+pub enum WireEvent {
+    /// Client → server: open a channel.
+    Connect {
+        /// Channel id allocated by the client (globally unique).
+        channel: ChannelId,
+        /// Port the client's event loop listens on.
+        reply_to: PortAddr,
+        /// Client identity.
+        handshake: Handshake,
+    },
+    /// Server → client: channel accepted.
+    Accept {
+        /// Echoed channel id.
+        channel: ChannelId,
+        /// Port the server's event loop listens on.
+        data_to: PortAddr,
+        /// Server identity.
+        handshake: Handshake,
+    },
+    /// Server → client: connection refused.
+    Reject {
+        /// Echoed channel id.
+        channel: ChannelId,
+        /// Reason.
+        reason: String,
+    },
+    /// A message frame on an established channel.
+    Data {
+        /// Target channel.
+        channel: ChannelId,
+        /// The frame.
+        frame: Frame,
+    },
+    /// Orderly channel teardown.
+    Close {
+        /// Target channel.
+        channel: ChannelId,
+    },
+}
+
+/// Virtual wire size of connection-management events (handshake-sized).
+pub const CONTROL_EVENT_BYTES: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_kind_default_is_none() {
+        assert_eq!(CommKind::default(), CommKind::None);
+    }
+
+    #[test]
+    fn frame_socket_size_sums_header_and_body() {
+        let f = Frame {
+            header: Bytes::from_static(&[0; 21]),
+            body: Payload::bytes_scaled(Bytes::new(), 1000),
+        };
+        assert_eq!(f.socket_virtual_len(), 1021);
+    }
+}

@@ -1,0 +1,273 @@
+//! Collective operations over intracommunicators.
+//!
+//! Implemented over point-to-point sends with reserved tags; each collective
+//! round consumes one per-communicator sequence number, so collectives and
+//! user p2p traffic never cross-match. Linear algorithms — the universes
+//! simulated here have at most a few dozen ranks per communicator, where
+//! linear and tree algorithms are within a small constant of each other.
+
+use std::any::Any;
+
+use crate::comm::Comm;
+use crate::types::MpiError;
+
+/// Reserved tag space for collective rounds.
+const COLL_BASE: u64 = 1 << 62;
+
+fn coll_tag(op: u64, seq: u64) -> u64 {
+    COLL_BASE | (op << 48) | (seq & 0xFFFF_FFFF_FFFF)
+}
+
+const OP_BARRIER_IN: u64 = 1;
+const OP_BARRIER_OUT: u64 = 2;
+const OP_BCAST: u64 = 3;
+const OP_GATHER: u64 = 4;
+
+/// Wire size charged for zero-data control hops within collectives.
+const TOKEN_BYTES: u64 = 16;
+
+impl Comm {
+    /// `MPI_Barrier`: returns once every member has entered.
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        let seq = self.next_coll_seq();
+        let size = self.size();
+        let rank = self.rank();
+        if size == 1 {
+            return Ok(());
+        }
+        if rank == 0 {
+            for src in 1..size {
+                let _ = self.recv(Some(src), Some(coll_tag(OP_BARRIER_IN, seq)))?;
+            }
+            for dst in 1..size {
+                self.send(dst, coll_tag(OP_BARRIER_OUT, seq), fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES))?;
+            }
+        } else {
+            self.send(0, coll_tag(OP_BARRIER_IN, seq), fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES))?;
+            let _ = self.recv(Some(0), Some(coll_tag(OP_BARRIER_OUT, seq)))?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Bcast`: `root` supplies `Some(value)`; everyone returns the
+    /// value. `virtual_len` is the charged wire size per hop.
+    pub fn bcast<T: Any + Send + Sync + Clone>(
+        &self,
+        root: u32,
+        value: Option<T>,
+        virtual_len: u64,
+    ) -> Result<T, MpiError> {
+        let seq = self.next_coll_seq();
+        let rank = self.rank();
+        let size = self.size();
+        if rank == root {
+            let v = value.expect("bcast root must supply a value");
+            for dst in 0..size {
+                if dst != root {
+                    self.send_value(dst, coll_tag(OP_BCAST, seq), v.clone(), virtual_len)?;
+                }
+            }
+            Ok(v)
+        } else {
+            let (v, _st) = self.recv_value::<T>(Some(root), Some(coll_tag(OP_BCAST, seq)))?;
+            Ok((*v).clone())
+        }
+    }
+
+    /// `MPI_Gather`: root returns `Some(vec)` in rank order; others `None`.
+    pub fn gather<T: Any + Send + Sync + Clone>(
+        &self,
+        root: u32,
+        value: T,
+        virtual_len: u64,
+    ) -> Result<Option<Vec<T>>, MpiError> {
+        let seq = self.next_coll_seq();
+        let rank = self.rank();
+        let size = self.size();
+        if rank == root {
+            let mut out: Vec<Option<T>> = vec![None; size as usize];
+            out[root as usize] = Some(value);
+            for src in 0..size {
+                if src != root {
+                    let (v, _st) = self.recv_value::<T>(Some(src), Some(coll_tag(OP_GATHER, seq)))?;
+                    out[src as usize] = Some((*v).clone());
+                }
+            }
+            Ok(Some(out.into_iter().map(|v| v.expect("all ranks gathered")).collect()))
+        } else {
+            self.send_value(root, coll_tag(OP_GATHER, seq), value, virtual_len)?;
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Allgather`: everyone returns the rank-ordered vector. This is
+    /// the collective the paper uses to exchange executor launch arguments
+    /// across workers before `MPI_Comm_spawn_multiple` (§V).
+    pub fn allgather<T: Any + Send + Sync + Clone>(
+        &self,
+        value: T,
+        virtual_len: u64,
+    ) -> Result<Vec<T>, MpiError> {
+        let n = self.size() as u64;
+        let gathered = self.gather(0, value, virtual_len)?;
+        self.bcast(0, gathered, virtual_len * n)
+    }
+
+    /// `MPI_Allreduce` with a user-supplied associative combiner.
+    pub fn allreduce<T: Any + Send + Sync + Clone>(
+        &self,
+        value: T,
+        virtual_len: u64,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<T, MpiError> {
+        let gathered = self.gather(0, value, virtual_len)?;
+        let reduced = gathered.map(|vs| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("non-empty communicator");
+            it.fold(first, &combine)
+        });
+        self.bcast(0, reduced, virtual_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::launch::mpiexec;
+    use fabric::{ClusterSpec, Net};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn run_ranks(n_nodes: usize, ranks: usize, f: impl Fn(crate::Comm) + Send + Sync + 'static) {
+        let sim = simt::Sim::new();
+        let placements: Vec<usize> = (0..ranks).map(|i| i % n_nodes).collect();
+        sim.spawn("launcher", move || {
+            let net = Net::new(&ClusterSpec::test(n_nodes));
+            mpiexec(&net, &placements, f);
+        });
+        let r = sim.run().unwrap();
+        r.assert_clean();
+    }
+
+    #[test]
+    fn barrier_synchronizes_times() {
+        let after = Arc::new(Mutex::new(Vec::new()));
+        let after2 = after.clone();
+        run_ranks(2, 4, move |comm| {
+            // Stagger entries; everyone leaves at (or after) the slowest.
+            simt::sleep(u64::from(comm.rank()) * 1_000);
+            comm.barrier().unwrap();
+            after2.lock().push(simt::now());
+        });
+        let times = after.lock().clone();
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|t| *t >= 3_000), "{times:?}");
+    }
+
+    #[test]
+    fn bcast_distributes_root_value() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        run_ranks(2, 3, move |comm| {
+            let v = comm.bcast(0, if comm.rank() == 0 { Some(42u64) } else { None }, 8).unwrap();
+            got2.lock().push(v);
+        });
+        assert_eq!(got.lock().clone(), vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        run_ranks(2, 3, move |comm| {
+            let v = comm
+                .bcast(2, if comm.rank() == 2 { Some("hi".to_string()) } else { None }, 2)
+                .unwrap();
+            got2.lock().push(v);
+        });
+        assert_eq!(got.lock().clone(), vec!["hi", "hi", "hi"]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let got = Arc::new(Mutex::new(None));
+        let got2 = got.clone();
+        run_ranks(2, 4, move |comm| {
+            let r = comm.gather(0, u64::from(comm.rank()) * 10, 8).unwrap();
+            if comm.rank() == 0 {
+                *got2.lock() = r;
+            } else {
+                assert!(r.is_none());
+            }
+        });
+        assert_eq!(got.lock().clone(), Some(vec![0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        run_ranks(3, 3, move |comm| {
+            // The paper's §V use case: exchange executor launch args.
+            let arg = format!("--executor-on-rank-{}", comm.rank());
+            let all = comm.allgather(arg, 64).unwrap();
+            got2.lock().push(all);
+        });
+        let all = got.lock().clone();
+        assert_eq!(all.len(), 3);
+        for v in all {
+            assert_eq!(
+                v,
+                vec![
+                    "--executor-on-rank-0".to_string(),
+                    "--executor-on-rank-1".to_string(),
+                    "--executor-on-rank-2".to_string()
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        run_ranks(2, 4, move |comm| {
+            let s = comm.allreduce(u64::from(comm.rank()) + 1, 8, |a, b| a + b).unwrap();
+            got2.lock().push(s);
+        });
+        assert_eq!(got.lock().clone(), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_match() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        run_ranks(2, 3, move |comm| {
+            let a = comm.bcast(0, if comm.rank() == 0 { Some(1u64) } else { None }, 8).unwrap();
+            comm.barrier().unwrap();
+            let b = comm.bcast(1, if comm.rank() == 1 { Some(2u64) } else { None }, 8).unwrap();
+            let c = comm.allgather(comm.rank(), 8).unwrap();
+            got2.lock().push((a, b, c));
+        });
+        for (a, b, c) in got.lock().clone() {
+            assert_eq!((a, b), (1, 2));
+            assert_eq!(c, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn p2p_and_collectives_coexist() {
+        run_ranks(2, 2, move |comm| {
+            if comm.rank() == 0 {
+                // Send user traffic with a tag in the collective numeric
+                // range (but without the reserved bit).
+                comm.send_value(1, 0xFFFF, 7u32, 8).unwrap();
+                comm.barrier().unwrap();
+            } else {
+                comm.barrier().unwrap();
+                let (v, st) = comm.recv_value::<u32>(Some(0), Some(0xFFFF)).unwrap();
+                assert_eq!(*v, 7);
+                assert_eq!(st.source, 0);
+            }
+        });
+    }
+}

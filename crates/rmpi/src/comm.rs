@@ -1,0 +1,227 @@
+//! Communicator handles and point-to-point operations.
+
+use std::sync::Arc;
+
+use fabric::Payload;
+
+use crate::launch::Universe;
+use crate::proc::{CommInfo, Matcher, MpiMsg, ProcState, IPROBE_CPU_NS};
+use crate::types::{CommId, MpiError, ProcId, Status};
+
+/// A communicator handle bound to one calling process. Cheap to clone;
+/// clones may be used from any green thread belonging to that process
+/// (Netty event loops, executor task slots, ...).
+#[derive(Clone)]
+pub struct Comm {
+    uni: Universe,
+    comm: CommId,
+    proc: ProcId,
+}
+
+impl Comm {
+    pub(crate) fn new(uni: Universe, comm: CommId, proc: ProcId) -> Comm {
+        Comm { uni, comm, proc }
+    }
+
+    fn info(&self) -> Arc<CommInfo> {
+        self.uni.state.comms.lock().get(&self.comm).expect("communicator exists").clone()
+    }
+
+    fn me(&self) -> Arc<ProcState> {
+        self.uni.state.procs.lock().get(&self.proc).expect("process exists").clone()
+    }
+
+    fn proc_state(&self, p: ProcId) -> Arc<ProcState> {
+        self.uni.state.procs.lock().get(&p).expect("process exists").clone()
+    }
+
+    /// The universe this communicator belongs to.
+    pub fn universe(&self) -> &Universe {
+        &self.uni
+    }
+
+    /// Communicator id.
+    pub fn id(&self) -> CommId {
+        self.comm
+    }
+
+    /// This process's id.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Node the calling process runs on.
+    pub fn node(&self) -> fabric::NodeId {
+        self.me().node
+    }
+
+    /// Rank of the calling process (within its group, for intercomms).
+    pub fn rank(&self) -> u32 {
+        self.info().local_rank(self.proc).expect("caller is a member")
+    }
+
+    /// Local group size.
+    pub fn size(&self) -> u32 {
+        self.info().local_size(self.proc) as u32
+    }
+
+    /// Remote group size (== `size()` for intracommunicators).
+    pub fn remote_size(&self) -> u32 {
+        self.info().remote_size(self.proc) as u32
+    }
+
+    /// True when this is an intercommunicator.
+    pub fn is_inter(&self) -> bool {
+        matches!(self.info().groups, crate::proc::CommGroups::Inter { .. })
+    }
+
+    /// Blocking (buffered) send to `dest` with `tag`.
+    ///
+    /// Returns once the send-side software cost is paid — the message is
+    /// buffered by the fabric, matching an eager/buffered-mode MPI send.
+    pub fn send(&self, dest: u32, tag: u64, payload: Payload) -> Result<(), MpiError> {
+        let info = self.info();
+        let dest_proc = info.resolve_dest(self.proc, dest)?;
+        let me = self.me();
+        let target = self.proc_state(dest_proc);
+        let virtual_len = payload.virtual_len;
+        let msg = MpiMsg { comm: self.comm, src_rank: self.rank(), tag, payload };
+        self.uni.state.net.send(
+            &self.uni.state.stack,
+            me.node,
+            target.mailbox,
+            Payload::control(msg, virtual_len),
+        );
+        Ok(())
+    }
+
+    /// Nonblocking send. With the fabric's buffered semantics it completes
+    /// immediately; provided for API fidelity.
+    pub fn isend(&self, dest: u32, tag: u64, payload: Payload) -> Result<Request, MpiError> {
+        self.send(dest, tag, payload)?;
+        Ok(Request::complete())
+    }
+
+    /// Blocking matched receive.
+    pub fn recv(&self, src: Option<u32>, tag: Option<u64>) -> Result<(Payload, Status), MpiError> {
+        let me = self.me();
+        let msg = me.store.recv(Matcher { comm: self.comm, src, tag })?;
+        Ok((
+            msg.payload.clone(),
+            Status { source: msg.src_rank, tag: msg.tag, len: msg.payload.virtual_len },
+        ))
+    }
+
+    /// Blocking matched receive with a relative timeout (ns).
+    pub fn recv_timeout(
+        &self,
+        src: Option<u32>,
+        tag: Option<u64>,
+        timeout: u64,
+    ) -> Result<(Payload, Status), MpiError> {
+        let me = self.me();
+        let msg = me.store.recv_timeout(Matcher { comm: self.comm, src, tag }, timeout)?;
+        Ok((
+            msg.payload.clone(),
+            Status { source: msg.src_rank, tag: msg.tag, len: msg.payload.virtual_len },
+        ))
+    }
+
+    /// Nonblocking receive: a [`Request`] that resolves on `wait`.
+    /// (Progress happens in the pump regardless, so deferring the match to
+    /// `wait` is observationally equivalent — documented deviation.)
+    pub fn irecv(&self, src: Option<u32>, tag: Option<u64>) -> Request {
+        Request::pending(self.clone(), src, tag)
+    }
+
+    /// Nonblocking probe (`MPI_Iprobe`). Charges the caller the polling CPU
+    /// cost — the cost the Basic design pays in its selector loop (§VI-D).
+    pub fn iprobe(&self, src: Option<u32>, tag: Option<u64>) -> Option<Status> {
+        let me = self.me();
+        self.uni.state.net.cpu(me.node).execute(IPROBE_CPU_NS);
+        me.store.probe(Matcher { comm: self.comm, src, tag })
+    }
+
+    /// Blocking probe (`MPI_Probe`).
+    pub fn probe(&self, src: Option<u32>, tag: Option<u64>) -> Result<Status, MpiError> {
+        let me = self.me();
+        me.store.probe_blocking(Matcher { comm: self.comm, src, tag })
+    }
+
+    /// Typed convenience: send a control value charged as `virtual_len`.
+    pub fn send_value<T: std::any::Any + Send + Sync>(
+        &self,
+        dest: u32,
+        tag: u64,
+        value: T,
+        virtual_len: u64,
+    ) -> Result<(), MpiError> {
+        self.send(dest, tag, Payload::control(value, virtual_len))
+    }
+
+    /// Typed convenience: receive a control value of type `T`.
+    /// Panics when the matched message carries a different type — that is a
+    /// protocol bug in the simulated program, not a runtime condition.
+    pub fn recv_value<T: std::any::Any + Send + Sync>(
+        &self,
+        src: Option<u32>,
+        tag: Option<u64>,
+    ) -> Result<(Arc<T>, Status), MpiError> {
+        let (payload, status) = self.recv(src, tag)?;
+        let v = payload.value_as::<T>().expect("typed receive matched a payload of another type");
+        Ok((v, status))
+    }
+
+    /// Allocate the next collective sequence number for this communicator.
+    pub(crate) fn next_coll_seq(&self) -> u64 {
+        let me = self.me();
+        let mut m = me.coll_seq.lock();
+        let c = m.entry(self.comm).or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm").field("comm", &self.comm).field("proc", &self.proc).finish()
+    }
+}
+
+/// A nonblocking-operation handle.
+pub struct Request {
+    kind: RequestKind,
+}
+
+enum RequestKind {
+    Complete,
+    PendingRecv { comm: Comm, src: Option<u32>, tag: Option<u64> },
+}
+
+impl Request {
+    fn complete() -> Request {
+        Request { kind: RequestKind::Complete }
+    }
+
+    fn pending(comm: Comm, src: Option<u32>, tag: Option<u64>) -> Request {
+        Request { kind: RequestKind::PendingRecv { comm, src, tag } }
+    }
+
+    /// Block until the operation completes; receives return their payload.
+    pub fn wait(self) -> Result<Option<(Payload, Status)>, MpiError> {
+        match self.kind {
+            RequestKind::Complete => Ok(None),
+            RequestKind::PendingRecv { comm, src, tag } => comm.recv(src, tag).map(Some),
+        }
+    }
+
+    /// Nonblocking completion test.
+    pub fn test(&self) -> bool {
+        match &self.kind {
+            RequestKind::Complete => true,
+            RequestKind::PendingRecv { comm, src, tag } => comm.iprobe(*src, *tag).is_some(),
+        }
+    }
+}

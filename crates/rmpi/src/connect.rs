@@ -1,0 +1,160 @@
+//! Dynamic connection establishment: `MPI_Open_port` / `MPI_Comm_accept` /
+//! `MPI_Comm_connect`.
+//!
+//! The paper lists fault tolerance "using MPI_Comm_connect and
+//! MPI_Comm_accept functionality" as future work (§IX); this module
+//! provides the facility so the reconnect path can be built and tested: a
+//! server process publishes a named port, a client connects by name, and
+//! both obtain a fresh two-group intercommunicator.
+
+use simt::queue::Queue;
+use simt::sync::OnceCell;
+
+use crate::comm::Comm;
+use crate::proc::CommGroups;
+use crate::types::{CommId, MpiError, ProcId};
+
+/// A pending `comm_connect` awaiting its `comm_accept`.
+pub struct ConnRequest {
+    /// Connecting process.
+    pub client: ProcId,
+    /// Receives the new intercommunicator id.
+    pub reply: OnceCell<CommId>,
+}
+
+impl Comm {
+    /// Publish a named port (`MPI_Open_port`). Returns an error if the name
+    /// is already in use.
+    pub fn open_port(&self, name: &str) -> Result<(), MpiError> {
+        let mut ports = self.universe().state.named_ports.lock();
+        if ports.contains_key(name) {
+            return Err(MpiError::SpawnFailed(format!("port '{name}' already open")));
+        }
+        ports.insert(name.to_string(), Queue::new());
+        Ok(())
+    }
+
+    /// Remove a named port (`MPI_Close_port`).
+    pub fn close_port(&self, name: &str) {
+        if let Some(q) = self.universe().state.named_ports.lock().remove(name) {
+            q.close();
+        }
+    }
+
+    /// Accept one connection on a published port (`MPI_Comm_accept`):
+    /// blocks until a client connects, then returns the intercommunicator
+    /// (this process is group A, the client group B).
+    pub fn accept(&self, name: &str) -> Result<Comm, MpiError> {
+        let q = self
+            .universe()
+            .state
+            .named_ports
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MpiError::SpawnFailed(format!("port '{name}' not open")))?;
+        let req = q.recv().map_err(|_| MpiError::Finalized)?;
+        let uni = self.universe().clone();
+        let inter = uni.register_comm(CommGroups::Inter {
+            a: vec![self.proc_id()],
+            b: vec![req.client],
+        });
+        req.reply.put(inter);
+        Ok(Comm::new(uni, inter, self.proc_id()))
+    }
+
+    /// Connect to a published port (`MPI_Comm_connect`): blocks until the
+    /// server accepts, then returns the intercommunicator (the server is
+    /// the remote group).
+    pub fn connect(&self, name: &str) -> Result<Comm, MpiError> {
+        let q = self
+            .universe()
+            .state
+            .named_ports
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MpiError::SpawnFailed(format!("port '{name}' not open")))?;
+        let reply: OnceCell<CommId> = OnceCell::new();
+        q.send(ConnRequest { client: self.proc_id(), reply: reply.clone() });
+        let inter = reply.take();
+        Ok(Comm::new(self.universe().clone(), inter, self.proc_id()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mpiexec;
+    use fabric::{ClusterSpec, Net};
+
+    fn run(ranks: usize, f: impl Fn(crate::Comm) + Send + Sync + 'static) {
+        let sim = simt::Sim::new();
+        let placements: Vec<usize> = (0..ranks).map(|i| i % 2).collect();
+        sim.spawn("launcher", move || {
+            let net = Net::new(&ClusterSpec::test(2));
+            mpiexec(&net, &placements, f);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn connect_accept_roundtrip() {
+        run(2, |world| {
+            if world.rank() == 0 {
+                world.open_port("svc").unwrap();
+                let inter = world.accept("svc").unwrap();
+                assert!(inter.is_inter());
+                let (v, st) = inter.recv_value::<u64>(Some(0), Some(1)).unwrap();
+                assert_eq!(*v, 99);
+                assert_eq!(st.source, 0);
+                inter.send_value(0, 2, *v + 1, 8).unwrap();
+                world.close_port("svc");
+            } else {
+                simt::sleep(1_000); // let the server open the port
+                let inter = world.connect("svc").unwrap();
+                inter.send_value(0, 1, 99u64, 8).unwrap();
+                let (v, _) = inter.recv_value::<u64>(Some(0), Some(2)).unwrap();
+                assert_eq!(*v, 100);
+            }
+        });
+    }
+
+    #[test]
+    fn accept_serves_multiple_clients_in_turn() {
+        run(3, |world| {
+            if world.rank() == 0 {
+                world.open_port("multi").unwrap();
+                for _ in 0..2 {
+                    let inter = world.accept("multi").unwrap();
+                    let (v, _) = inter.recv_value::<u32>(Some(0), Some(5)).unwrap();
+                    inter.send_value(0, 6, *v * 2, 8).unwrap();
+                }
+                world.close_port("multi");
+            } else {
+                simt::sleep(u64::from(world.rank()) * 1_000);
+                let inter = world.connect("multi").unwrap();
+                inter.send_value(0, 5, world.rank() * 7, 8).unwrap();
+                let (v, _) = inter.recv_value::<u32>(Some(0), Some(6)).unwrap();
+                assert_eq!(*v, world.rank() * 14);
+            }
+        });
+    }
+
+    #[test]
+    fn connect_to_missing_port_errors() {
+        run(1, |world| {
+            assert!(world.connect("ghost").is_err());
+            assert!(world.accept("ghost").is_err());
+        });
+    }
+
+    #[test]
+    fn duplicate_port_name_rejected() {
+        run(1, |world| {
+            world.open_port("p").unwrap();
+            assert!(world.open_port("p").is_err());
+            world.close_port("p");
+            world.open_port("p").unwrap();
+        });
+    }
+}

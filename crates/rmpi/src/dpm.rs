@@ -1,0 +1,176 @@
+//! Dynamic Process Management: `MPI_Comm_spawn_multiple`, parent
+//! intercommunicators, and intercomm merge.
+//!
+//! This is the facility MPI4Spark leans on to preserve Spark's execution
+//! model (paper challenge 3): worker processes must dynamically fork
+//! isolated executor processes, but under MPI every process needs to be an
+//! MPI process — so executors are *spawned* with DPM. Children share a fresh
+//! child world (the paper's `DPM_COMM`, over which executors shuffle) and
+//! reach their parents through the returned intercommunicator (paper Fig. 3
+//! Step C).
+
+use fabric::NodeId;
+
+use crate::comm::Comm;
+use crate::launch::RankEntry;
+use crate::proc::CommGroups;
+use crate::types::{CommId, MpiError, ProcId};
+
+/// One child process specification for [`Comm::spawn_multiple`]
+/// (`MPI_Comm_spawn_multiple` takes an array of executable specifications;
+/// here the "executable" is an entry closure).
+pub struct SpawnSpec {
+    /// Child process name (diagnostics).
+    pub name: String,
+    /// Node to place the child on.
+    pub node: NodeId,
+    /// Child main, called with the child-world communicator.
+    pub entry: RankEntry,
+}
+
+impl SpawnSpec {
+    /// Build a spec.
+    pub fn new(name: impl Into<String>, node: NodeId, entry: impl FnOnce(Comm) + Send + 'static) -> Self {
+        SpawnSpec { name: name.into(), node, entry: Box::new(entry) }
+    }
+}
+
+impl Comm {
+    /// Collectively spawn child processes (`MPI_Comm_spawn_multiple`).
+    ///
+    /// Every member of this intracommunicator must call; `root` supplies the
+    /// specs (the paper allgathers executor arguments beforehand so the root
+    /// has the complete set — see §V). Returns the parent↔children
+    /// intercommunicator. Children receive the child world as their entry
+    /// argument and can obtain this intercommunicator via [`Comm::parent`].
+    pub fn spawn_multiple(
+        &self,
+        root: u32,
+        specs: Option<Vec<SpawnSpec>>,
+    ) -> Result<Comm, MpiError> {
+        assert!(!self.is_inter(), "spawn_multiple requires an intracommunicator");
+        let rank = self.rank();
+        let inter_id: u64 = if rank == root {
+            let specs = specs.expect("spawn root must supply specs");
+            if specs.is_empty() {
+                return Err(MpiError::SpawnFailed("empty spec list".into()));
+            }
+            let uni = self.universe().clone();
+            // Register children and their world.
+            let child_ids: Vec<ProcId> = specs
+                .iter()
+                .map(|s| uni.register_proc(&s.name, s.node))
+                .collect();
+            let child_world = uni.register_comm(CommGroups::Intra(child_ids.clone()));
+            // Intercomm: group A = this comm's members, group B = children.
+            let parent_members = self.members();
+            let inter = uni.register_comm(CommGroups::Inter {
+                a: parent_members,
+                b: child_ids.clone(),
+            });
+            // Record parentage before any child runs.
+            {
+                let mut parents = uni.state.parents.lock();
+                for c in &child_ids {
+                    parents.insert(*c, inter);
+                }
+            }
+            // Launch the children.
+            for (spec, cid) in specs.into_iter().zip(child_ids.iter()) {
+                let child_comm = Comm::new(uni.clone(), child_world, *cid);
+                let name = spec.name.clone();
+                let entry = spec.entry;
+                simt::spawn(format!("dpm:{name}"), move || entry(child_comm));
+            }
+            self.bcast(root, Some(inter.0), 16)?
+        } else {
+            self.bcast::<u64>(root, None, 16)?
+        };
+        Ok(self.rebind_comm(CommId(inter_id)))
+    }
+
+    /// The parent intercommunicator, for DPM-spawned processes
+    /// (`MPI_Comm_get_parent`).
+    pub fn parent(&self) -> Option<Comm> {
+        let uni = self.universe().clone();
+        let inter = *uni.state.parents.lock().get(&self.proc_id())?;
+        Some(self.rebind_comm(inter))
+    }
+
+    /// Merge an intercommunicator into one intracommunicator
+    /// (`MPI_Intercomm_merge`): group A ranks first, then group B. All
+    /// members of both groups must call.
+    pub fn merge(&self) -> Result<Comm, MpiError> {
+        let (a, b) = {
+            let info = self.universe().state.comms.lock().get(&self.id()).unwrap().clone();
+            match &info.groups {
+                CommGroups::Inter { a, b } => (a.clone(), b.clone()),
+                CommGroups::Intra(_) => panic!("merge requires an intercommunicator"),
+            }
+        };
+        let me = self.proc_id();
+        let i_am_a = a.contains(&me);
+        let seq = self.next_coll_seq();
+        let tag = (1 << 61) | seq;
+        let merged_id: u64 = if i_am_a && a[0] == me {
+            // Group-A rank 0 performs the registration and distributes it.
+            let uni = self.universe().clone();
+            let mut members = a.clone();
+            members.extend(b.iter().copied());
+            let merged = uni.register_comm(CommGroups::Intra(members));
+            // Direct notify every other participant (A ranks then B ranks).
+            for r in 1..a.len() as u32 {
+                // Within group A we cannot use the intercomm (it addresses
+                // the remote group), so send via the merged comm itself:
+                // register first, then address A members by merged rank.
+                let m = Comm::new(uni.clone(), merged, me);
+                m.send_value(r, tag, merged.0, 16)?;
+            }
+            for r in 0..b.len() as u32 {
+                self.send_value(r, tag, merged.0, 16)?;
+            }
+            merged.0
+        } else if i_am_a {
+            // Receive on *some* communicator we're already a member of:
+            // the sender used the merged comm, whose messages arrive at our
+            // store keyed by the merged comm id we don't know yet. Instead,
+            // A-side non-roots wait on the raw store for the tag.
+            let (v, _st) = self.recv_any_comm_value::<u64>(tag)?;
+            v
+        } else {
+            let (v, _st) = self.recv_value::<u64>(Some(0), Some(tag))?;
+            *v
+        };
+        Ok(self.rebind_comm(CommId(merged_id)))
+    }
+
+    /// Members of an intracommunicator (rank order).
+    pub(crate) fn members(&self) -> Vec<ProcId> {
+        let info = self.universe().state.comms.lock().get(&self.id()).unwrap().clone();
+        match &info.groups {
+            CommGroups::Intra(g) => g.clone(),
+            CommGroups::Inter { .. } => panic!("members() on intercommunicator"),
+        }
+    }
+
+    fn rebind_comm(&self, comm: CommId) -> Comm {
+        Comm::new(self.universe().clone(), comm, self.proc_id())
+    }
+
+    /// Receive a typed value matching `tag` on *any* communicator — only
+    /// used by the merge bootstrap, where the receiver does not yet know the
+    /// merged communicator's id.
+    fn recv_any_comm_value<T: std::any::Any + Send + Sync + Copy>(
+        &self,
+        tag: u64,
+    ) -> Result<(T, crate::types::Status), MpiError> {
+        let uni = self.universe().clone();
+        let me = uni.state.procs.lock().get(&self.proc_id()).unwrap().clone();
+        let msg = me.store.recv_any_comm(tag)?;
+        let v = msg.payload.value_as::<T>().expect("typed receive matched another type");
+        Ok((
+            *v,
+            crate::types::Status { source: msg.src_rank, tag: msg.tag, len: msg.payload.virtual_len },
+        ))
+    }
+}

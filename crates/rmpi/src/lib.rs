@@ -1,0 +1,36 @@
+//! # rmpi — an MPI-analog message passing library
+//!
+//! Stands in for MVAPICH2-X plus the paper's custom Java bindings (§VI-A).
+//! It reproduces the MPI facilities MPI4Spark depends on:
+//!
+//! * **SPMD launch** — [`launch::mpiexec`] starts N ranks on cluster nodes,
+//!   each as a simulated process with a `MPI_COMM_WORLD` handle
+//!   (paper challenge 1, §III).
+//! * **Point-to-point** — blocking/nonblocking send/recv with
+//!   `(communicator, source, tag)` matching and an unexpected-message queue,
+//!   plus `probe`/`iprobe` (the Basic design's polling primitive, §VI-D).
+//! * **Collectives** — `barrier`, `bcast`, `gather`, `allgather` (used to
+//!   exchange executor launch specifications, §V), `allreduce`.
+//! * **Dynamic Process Management** — [`Comm::spawn_multiple`] mirrors
+//!   `MPI_Comm_spawn_multiple()`: spawned children share a fresh child
+//!   world (the paper's `DPM_COMM`) and talk to their parents through an
+//!   intercommunicator; [`Comm::merge`] provides the merged intracomm
+//!   (paper challenge 3 and Fig. 3 Step C).
+//!
+//! Deviations from real MPI, all documented in `DESIGN.md`: tags are `u64`
+//! (we use them to encode channel ids), payloads are [`fabric::Payload`]
+//! values rather than typed buffers, and `isend` has buffered-send
+//! semantics (completion on return).
+
+pub mod coll;
+pub mod comm;
+pub mod connect;
+pub mod dpm;
+pub mod launch;
+pub mod proc;
+pub mod types;
+
+pub use comm::Comm;
+pub use dpm::SpawnSpec;
+pub use launch::{mpiexec, mpiexec_with, Universe};
+pub use types::{CommId, MpiError, ProcId, Status, ANY_SOURCE, ANY_TAG};

@@ -1,0 +1,457 @@
+//! Per-process receive machinery: the unexpected-message queue and the
+//! progress pump.
+//!
+//! Every MPI process owns one fabric mailbox port. A daemon *pump* green
+//! thread (the analog of an MPI progress engine) drains the port into a
+//! [`MsgStore`], where blocking receives match on `(communicator, source,
+//! tag)` — messages that arrive before a matching receive wait in the store,
+//! exactly like MPI's unexpected message queue.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{Net, NodeId, Payload, PortAddr};
+use parking_lot::Mutex;
+use simt::engine::{park, wait_token, WaitToken};
+
+use crate::types::{CommId, MpiError, ProcId, Status};
+
+/// CPU cost of one `iprobe` sweep (paper §VI-D: the Basic design's polling
+/// primitive; "too compute-intensive" when spun in a selector loop).
+pub const IPROBE_CPU_NS: u64 = 300;
+
+/// An in-flight or stored MPI message.
+#[derive(Debug, Clone)]
+pub struct MpiMsg {
+    /// Communicator the message was sent on.
+    pub comm: CommId,
+    /// Sender's rank as visible to the receiver (remote-group rank for
+    /// intercommunicators).
+    pub src_rank: u32,
+    /// Message tag.
+    pub tag: u64,
+    /// User payload.
+    pub payload: Payload,
+}
+
+#[derive(Default)]
+struct StoreState {
+    msgs: Vec<MpiMsg>,
+    waiters: Vec<WaitToken>,
+    closed: bool,
+}
+
+/// The unexpected-message queue plus waiter bookkeeping.
+#[derive(Clone, Default)]
+pub struct MsgStore {
+    state: Arc<Mutex<StoreState>>,
+}
+
+/// A match predicate: communicator, optional source rank, optional tag.
+#[derive(Debug, Clone, Copy)]
+pub struct Matcher {
+    /// Communicator to match.
+    pub comm: CommId,
+    /// `None` = `MPI_ANY_SOURCE`.
+    pub src: Option<u32>,
+    /// `None` = `MPI_ANY_TAG`.
+    pub tag: Option<u64>,
+}
+
+impl Matcher {
+    fn matches(&self, m: &MpiMsg) -> bool {
+        m.comm == self.comm
+            && self.src.is_none_or(|s| s == m.src_rank)
+            && self.tag.is_none_or(|t| t == m.tag)
+    }
+}
+
+impl MsgStore {
+    /// Push a delivered message and wake blocked receivers.
+    pub fn push(&self, msg: MpiMsg) {
+        let waiters = {
+            let mut s = self.state.lock();
+            if s.closed {
+                return;
+            }
+            s.msgs.push(msg);
+            std::mem::take(&mut s.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Blocking matched receive (FIFO among matching messages).
+    pub fn recv(&self, m: Matcher) -> Result<MpiMsg, MpiError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if let Some(pos) = s.msgs.iter().position(|x| m.matches(x)) {
+                    return Ok(s.msgs.remove(pos));
+                }
+                if s.closed {
+                    return Err(MpiError::Finalized);
+                }
+                s.waiters.push(wait_token());
+            }
+            park();
+        }
+    }
+
+    /// Blocking matched receive with a relative timeout.
+    pub fn recv_timeout(&self, m: Matcher, timeout: u64) -> Result<MpiMsg, MpiError> {
+        let deadline = simt::now().saturating_add(timeout);
+        loop {
+            let tok = {
+                let mut s = self.state.lock();
+                if let Some(pos) = s.msgs.iter().position(|x| m.matches(x)) {
+                    return Ok(s.msgs.remove(pos));
+                }
+                if s.closed {
+                    return Err(MpiError::Finalized);
+                }
+                if simt::now() >= deadline {
+                    return Err(MpiError::Timeout);
+                }
+                let tok = wait_token();
+                s.waiters.push(tok.clone());
+                tok
+            };
+            tok.wake_at(deadline);
+            park();
+        }
+    }
+
+    /// Non-blocking probe: status of the first matching message, if any.
+    pub fn probe(&self, m: Matcher) -> Option<Status> {
+        let s = self.state.lock();
+        s.msgs.iter().find(|x| m.matches(x)).map(|x| Status {
+            source: x.src_rank,
+            tag: x.tag,
+            len: x.payload.virtual_len,
+        })
+    }
+
+    /// Blocking probe.
+    pub fn probe_blocking(&self, m: Matcher) -> Result<Status, MpiError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if let Some(x) = s.msgs.iter().find(|x| m.matches(x)) {
+                    return Ok(Status { source: x.src_rank, tag: x.tag, len: x.payload.virtual_len });
+                }
+                if s.closed {
+                    return Err(MpiError::Finalized);
+                }
+                s.waiters.push(wait_token());
+            }
+            park();
+        }
+    }
+
+    /// Blocking receive matching only on `tag`, across all communicators.
+    /// Used solely by the intercomm-merge bootstrap, where the receiver
+    /// cannot yet know the new communicator's id.
+    pub fn recv_any_comm(&self, tag: u64) -> Result<MpiMsg, MpiError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if let Some(pos) = s.msgs.iter().position(|x| x.tag == tag) {
+                    return Ok(s.msgs.remove(pos));
+                }
+                if s.closed {
+                    return Err(MpiError::Finalized);
+                }
+                s.waiters.push(wait_token());
+            }
+            park();
+        }
+    }
+
+    /// Stop accepting messages and wake everyone (they observe `Finalized`).
+    pub fn close(&self) {
+        let waiters = {
+            let mut s = self.state.lock();
+            s.closed = true;
+            std::mem::take(&mut s.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Number of stored (unreceived) messages.
+    pub fn len(&self) -> usize {
+        self.state.lock().msgs.len()
+    }
+
+    /// True when no messages are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Registry entry for one MPI process.
+pub struct ProcState {
+    /// Identifier.
+    pub id: ProcId,
+    /// Node the process runs on.
+    pub node: NodeId,
+    /// Mailbox address other processes send to.
+    pub mailbox: PortAddr,
+    /// The matching store.
+    pub store: MsgStore,
+    /// Per-communicator collective sequence numbers (tags for collective
+    /// rounds; one collective at a time per communicator, as MPI requires).
+    pub coll_seq: Mutex<HashMap<CommId, u64>>,
+}
+
+/// Spawn the progress pump for a process: drains its mailbox port into the
+/// store until the port closes. The pump charges receive-side CPU (the MPI
+/// progress engine's cost) as packets arrive.
+pub fn spawn_pump(name: &str, rx: fabric::net::PortRx, store: MsgStore) {
+    let label = format!("mpi-pump:{name}");
+    simt::spawn_daemon(label, move || {
+        loop {
+            match rx.recv() {
+                Ok(pkt) => {
+                    if let Some(msg) = pkt.payload.value_as::<MpiMsg>() {
+                        store.push((*msg).clone());
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        store.close();
+    });
+}
+
+/// The `Net` + process/communicator registries shared by all handles of one
+/// MPI universe. (Exposed for sibling modules; users interact through
+/// [`crate::Universe`] and [`crate::Comm`].)
+pub struct UniverseState {
+    /// The fabric.
+    pub net: Net,
+    /// Software stack for all MPI traffic.
+    pub stack: fabric::StackModel,
+    /// Registered processes.
+    pub procs: Mutex<HashMap<ProcId, Arc<ProcState>>>,
+    /// Registered communicators.
+    pub comms: Mutex<HashMap<CommId, Arc<CommInfo>>>,
+    /// `proc -> parent intercommunicator` (set by DPM spawn).
+    pub parents: Mutex<HashMap<ProcId, CommId>>,
+    /// Named ports for `comm_accept`/`comm_connect`.
+    pub named_ports: Mutex<HashMap<String, simt::queue::Queue<crate::connect::ConnRequest>>>,
+    /// Next ids.
+    pub next_proc: std::sync::atomic::AtomicU64,
+    /// Next communicator id.
+    pub next_comm: std::sync::atomic::AtomicU64,
+}
+
+/// Group structure of a communicator.
+pub enum CommGroups {
+    /// Intracommunicator: one group; index = rank.
+    Intra(Vec<ProcId>),
+    /// Intercommunicator: two groups; ranks address the remote group.
+    Inter {
+        /// Group A (e.g. the DPM parents).
+        a: Vec<ProcId>,
+        /// Group B (e.g. the DPM children).
+        b: Vec<ProcId>,
+    },
+}
+
+/// A communicator's registry entry.
+pub struct CommInfo {
+    /// Identifier.
+    pub id: CommId,
+    /// Membership.
+    pub groups: CommGroups,
+}
+
+impl CommInfo {
+    /// Rank of `p` within the group it belongs to, if a member.
+    pub fn local_rank(&self, p: ProcId) -> Option<u32> {
+        match &self.groups {
+            CommGroups::Intra(g) => g.iter().position(|x| *x == p).map(|i| i as u32),
+            CommGroups::Inter { a, b } => a
+                .iter()
+                .position(|x| *x == p)
+                .or_else(|| b.iter().position(|x| *x == p))
+                .map(|i| i as u32),
+        }
+    }
+
+    /// The process a send to rank `r` targets, from `sender`'s perspective.
+    pub fn resolve_dest(&self, sender: ProcId, r: u32) -> Result<ProcId, MpiError> {
+        match &self.groups {
+            CommGroups::Intra(g) => {
+                g.get(r as usize).copied().ok_or(MpiError::InvalidRank(r))
+            }
+            CommGroups::Inter { a, b } => {
+                // Sends address the remote group.
+                if a.contains(&sender) {
+                    b.get(r as usize).copied().ok_or(MpiError::InvalidRank(r))
+                } else if b.contains(&sender) {
+                    a.get(r as usize).copied().ok_or(MpiError::InvalidRank(r))
+                } else {
+                    Err(MpiError::NotAMember)
+                }
+            }
+        }
+    }
+
+    /// Size of the group containing `p` (local size).
+    pub fn local_size(&self, p: ProcId) -> usize {
+        match &self.groups {
+            CommGroups::Intra(g) => g.len(),
+            CommGroups::Inter { a, b } => {
+                if a.contains(&p) {
+                    a.len()
+                } else {
+                    b.len()
+                }
+            }
+        }
+    }
+
+    /// Size of the remote group (intercomm) or the group itself (intracomm).
+    pub fn remote_size(&self, p: ProcId) -> usize {
+        match &self.groups {
+            CommGroups::Intra(g) => g.len(),
+            CommGroups::Inter { a, b } => {
+                if a.contains(&p) {
+                    b.len()
+                } else {
+                    a.len()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(comm: u64, src: u32, tag: u64) -> MpiMsg {
+        MpiMsg {
+            comm: CommId(comm),
+            src_rank: src,
+            tag,
+            payload: Payload::bytes(Bytes::from_static(b"d")),
+        }
+    }
+
+    #[test]
+    fn store_matches_exact_and_wildcards() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            store.push(msg(1, 0, 10));
+            store.push(msg(1, 1, 11));
+            store.push(msg(2, 0, 10));
+            // Exact match takes the matching one, not FIFO head.
+            let got = store.recv(Matcher { comm: CommId(1), src: Some(1), tag: Some(11) }).unwrap();
+            assert_eq!(got.src_rank, 1);
+            // Wildcard source.
+            let got = store.recv(Matcher { comm: CommId(1), src: None, tag: Some(10) }).unwrap();
+            assert_eq!((got.src_rank, got.tag), (0, 10));
+            // Wildcard both — only comm 2 left.
+            let got = store.recv(Matcher { comm: CommId(2), src: None, tag: None }).unwrap();
+            assert_eq!(got.comm, CommId(2));
+            assert!(store.is_empty());
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn recv_blocks_until_push() {
+        let sim = simt::Sim::new();
+        let store = MsgStore::default();
+        let s2 = store.clone();
+        sim.spawn("rx", move || {
+            let got = s2.recv(Matcher { comm: CommId(1), src: Some(0), tag: Some(5) }).unwrap();
+            assert_eq!(got.tag, 5);
+            assert_eq!(simt::now(), 100);
+        });
+        sim.spawn("tx", move || {
+            simt::sleep(100);
+            store.push(msg(1, 0, 5));
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            store.push(msg(1, 3, 7));
+            let m = Matcher { comm: CommId(1), src: None, tag: None };
+            let st = store.probe(m).unwrap();
+            assert_eq!((st.source, st.tag), (3, 7));
+            assert_eq!(store.len(), 1);
+            assert!(store.recv(m).is_ok());
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            let r = store.recv_timeout(Matcher { comm: CommId(1), src: None, tag: None }, 1_000);
+            assert_eq!(r.err(), Some(MpiError::Timeout));
+            assert_eq!(simt::now(), 1_000);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn close_wakes_receivers_with_finalized() {
+        let sim = simt::Sim::new();
+        let store = MsgStore::default();
+        let s2 = store.clone();
+        sim.spawn("rx", move || {
+            let r = s2.recv(Matcher { comm: CommId(1), src: None, tag: None });
+            assert_eq!(r.err(), Some(MpiError::Finalized));
+        });
+        sim.spawn("closer", move || {
+            simt::sleep(10);
+            store.close();
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn comm_info_intra_ranks() {
+        let info = CommInfo {
+            id: CommId(1),
+            groups: CommGroups::Intra(vec![ProcId(10), ProcId(20), ProcId(30)]),
+        };
+        assert_eq!(info.local_rank(ProcId(20)), Some(1));
+        assert_eq!(info.local_rank(ProcId(99)), None);
+        assert_eq!(info.resolve_dest(ProcId(10), 2).unwrap(), ProcId(30));
+        assert_eq!(info.resolve_dest(ProcId(10), 7).unwrap_err(), MpiError::InvalidRank(7));
+        assert_eq!(info.local_size(ProcId(10)), 3);
+    }
+
+    #[test]
+    fn comm_info_inter_ranks_address_remote_group() {
+        let info = CommInfo {
+            id: CommId(2),
+            groups: CommGroups::Inter { a: vec![ProcId(1), ProcId(2)], b: vec![ProcId(3)] },
+        };
+        // Parent 1 sending to rank 0 reaches child 3.
+        assert_eq!(info.resolve_dest(ProcId(1), 0).unwrap(), ProcId(3));
+        // Child 3 sending to rank 1 reaches parent 2.
+        assert_eq!(info.resolve_dest(ProcId(3), 1).unwrap(), ProcId(2));
+        assert_eq!(info.remote_size(ProcId(1)), 1);
+        assert_eq!(info.remote_size(ProcId(3)), 2);
+        assert_eq!(info.resolve_dest(ProcId(99), 0).unwrap_err(), MpiError::NotAMember);
+    }
+}

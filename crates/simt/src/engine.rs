@@ -1,0 +1,711 @@
+//! The simulation engine: virtual clock, event heap, and green-thread
+//! scheduling.
+//!
+//! Exactly one green thread executes at a time. The engine thread pops events
+//! off a heap ordered by `(virtual_time, sequence)`; a `Wake` event hands the
+//! run token to a blocked green thread and waits for it to yield back; a
+//! `Call` event runs a closure on the engine thread itself (used for message
+//! delivery, CPU-model ticks, and link releases).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::gate::Gate;
+
+/// Identifier of a green thread within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Payload used to unwind green threads when the simulation shuts down.
+struct ShutdownSignal;
+
+/// Default green-thread stack size. Simulated Spark/MPI code is ordinary
+/// blocking Rust, so stacks stay shallow; 512 KiB leaves comfortable margin.
+const DEFAULT_STACK: usize = 512 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Blocked,
+    Running,
+    Dead,
+}
+
+struct ThreadSlot {
+    name: String,
+    daemon: bool,
+    gate: Arc<Gate>,
+    status: Status,
+    /// Bumped every time the thread resumes; wake events carry the epoch they
+    /// were scheduled against and are ignored when stale.
+    epoch: u64,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+enum EventKind {
+    Wake { tid: TaskId, epoch: u64 },
+    Call(Box<dyn FnOnce() + Send>),
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct State {
+    now: u64,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    threads: Vec<ThreadSlot>,
+    live: usize,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    shutting_down: bool,
+}
+
+/// Shared engine internals; green threads hold an `Arc` to this.
+pub struct Inner {
+    state: Mutex<State>,
+    engine_gate: Gate,
+    stack_size: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Inner>, TaskId)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_handle() -> Option<(Arc<Inner>, TaskId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Inner>, TaskId) -> R) -> R {
+    let (inner, tid) =
+        current_handle().expect("simt: called a simulation primitive outside a green thread");
+    f(&inner, tid)
+}
+
+fn install_shutdown_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_some() {
+                return; // quiet teardown unwinds
+            }
+            default(info);
+        }));
+    });
+}
+
+impl Inner {
+    pub(crate) fn now(&self) -> u64 {
+        self.state.lock().now
+    }
+
+    pub(crate) fn thread_name(&self, tid: TaskId) -> String {
+        self.state.lock().threads[tid.0].name.clone()
+    }
+
+    fn alloc_seq(state: &mut State) -> u64 {
+        let s = state.next_seq;
+        state.next_seq += 1;
+        s
+    }
+
+    /// Schedule a wake for `(tid, epoch)` at absolute virtual time `at`.
+    pub(crate) fn schedule_wake(&self, tid: TaskId, epoch: u64, at: u64) {
+        let mut s = self.state.lock();
+        let at = at.max(s.now);
+        let seq = Self::alloc_seq(&mut s);
+        s.heap.push(Reverse(Event { time: at, seq, kind: EventKind::Wake { tid, epoch } }));
+    }
+
+    /// Schedule a closure to run on the engine thread at absolute time `at`.
+    pub(crate) fn schedule_call(&self, at: u64, f: Box<dyn FnOnce() + Send>) {
+        let mut s = self.state.lock();
+        let at = at.max(s.now);
+        let seq = Self::alloc_seq(&mut s);
+        s.heap.push(Reverse(Event { time: at, seq, kind: EventKind::Call(f) }));
+    }
+
+    pub(crate) fn current_epoch(&self, tid: TaskId) -> u64 {
+        self.state.lock().threads[tid.0].epoch
+    }
+
+    /// Block the calling green thread until some wake targets its current
+    /// epoch. Panics (unwinding the thread) when the simulation is shutting
+    /// down.
+    pub(crate) fn block_current(&self, tid: TaskId) {
+        let gate = {
+            let mut s = self.state.lock();
+            let slot = &mut s.threads[tid.0];
+            debug_assert_eq!(slot.status, Status::Running);
+            slot.status = Status::Blocked;
+            slot.gate.clone()
+        };
+        self.engine_gate.open();
+        gate.wait();
+        if self.state.lock().shutting_down {
+            panic::panic_any(ShutdownSignal);
+        }
+    }
+
+    pub(crate) fn sleep(&self, tid: TaskId, ns: u64) {
+        let deadline = self.now().saturating_add(ns);
+        loop {
+            let (now, epoch) = {
+                let s = self.state.lock();
+                (s.now, s.threads[tid.0].epoch)
+            };
+            if now >= deadline {
+                return;
+            }
+            self.schedule_wake(tid, epoch, deadline);
+            self.block_current(tid);
+        }
+    }
+
+    /// Spawn a green thread; it becomes runnable at the current virtual time.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        name: String,
+        daemon: bool,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> TaskId {
+        install_shutdown_quiet_hook();
+        let gate = Arc::new(Gate::new());
+        let tid = {
+            let mut s = self.state.lock();
+            let tid = TaskId(s.threads.len());
+            s.threads.push(ThreadSlot {
+                name: name.clone(),
+                daemon,
+                gate: gate.clone(),
+                status: Status::Blocked,
+                epoch: 0,
+                join: None,
+            });
+            s.live += 1;
+            tid
+        };
+        let inner = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("simt:{name}"))
+            .stack_size(self.stack_size)
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((inner.clone(), tid)));
+                gate.wait();
+                let shutting_down = inner.state.lock().shutting_down;
+                let payload = if shutting_down {
+                    None
+                } else {
+                    panic::catch_unwind(AssertUnwindSafe(f)).err()
+                };
+                inner.thread_finished(tid, payload);
+            })
+            .expect("simt: failed to spawn OS thread for green thread");
+        {
+            let mut s = self.state.lock();
+            s.threads[tid.0].join = Some(handle);
+            let epoch = s.threads[tid.0].epoch;
+            let now = s.now;
+            let seq = Self::alloc_seq(&mut s);
+            s.heap.push(Reverse(Event { time: now, seq, kind: EventKind::Wake { tid, epoch } }));
+        }
+        tid
+    }
+
+    fn thread_finished(&self, tid: TaskId, payload: Option<Box<dyn Any + Send>>) {
+        let mut s = self.state.lock();
+        let slot = &mut s.threads[tid.0];
+        slot.status = Status::Dead;
+        s.live -= 1;
+        if let Some(p) = payload {
+            if p.downcast_ref::<ShutdownSignal>().is_none() && s.panic_payload.is_none() {
+                s.panic_payload = Some(p);
+            }
+        }
+        drop(s);
+        self.engine_gate.open();
+    }
+}
+
+/// A simulation instance. Spawn green threads, then call [`Sim::run`].
+pub struct Sim {
+    inner: Arc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of running a simulation to quiescence.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Final virtual time in nanoseconds.
+    pub now: u64,
+    /// Names of non-daemon threads still blocked at quiescence. Usually a bug
+    /// in the simulated program (a lost message, a missing reply).
+    pub blocked: Vec<String>,
+}
+
+impl SimReport {
+    /// Assert that no non-daemon thread was left blocked.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.blocked.is_empty(),
+            "simulation quiesced with blocked non-daemon threads: {:?}",
+            self.blocked
+        );
+    }
+}
+
+/// Errors surfaced by [`Sim::run`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Reserved; panics inside green threads are re-raised on the caller.
+    Internal(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Internal(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+impl std::error::Error for SimError {}
+
+impl Sim {
+    /// Create a fresh simulation with the default green-thread stack size
+    /// (overridable via the `SIMT_STACK` environment variable, in bytes).
+    pub fn new() -> Self {
+        let stack_size = std::env::var("SIMT_STACK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_STACK);
+        Sim {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    now: 0,
+                    next_seq: 0,
+                    heap: BinaryHeap::new(),
+                    threads: Vec::new(),
+                    live: 0,
+                    panic_payload: None,
+                    shutting_down: false,
+                }),
+                engine_gate: Gate::new(),
+                stack_size,
+            }),
+        }
+    }
+
+    /// Spawn a green thread runnable at the current virtual time.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce() + Send + 'static) -> TaskId {
+        self.inner.spawn_thread(name.into(), false, Box::new(f))
+    }
+
+    /// Spawn a daemon green thread (not reported as stuck at quiescence).
+    pub fn spawn_daemon(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.inner.spawn_thread(name.into(), true, Box::new(f))
+    }
+
+    /// Current virtual time (usable from outside the simulation).
+    pub fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    /// Run until the event heap drains. Green-thread panics are re-raised
+    /// here. May be called repeatedly (spawn more threads in between).
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        loop {
+            let event = {
+                let mut s = self.inner.state.lock();
+                if s.panic_payload.is_some() {
+                    let p = s.panic_payload.take().unwrap();
+                    drop(s);
+                    self.shutdown();
+                    panic::resume_unwind(p);
+                }
+                match s.heap.pop() {
+                    Some(Reverse(e)) => {
+                        s.now = e.time;
+                        Some(e)
+                    }
+                    None => None,
+                }
+            };
+            let Some(event) = event else { break };
+            match event.kind {
+                EventKind::Wake { tid, epoch } => {
+                    let gate = {
+                        let mut s = self.inner.state.lock();
+                        let slot = &mut s.threads[tid.0];
+                        if slot.status != Status::Blocked || slot.epoch != epoch {
+                            continue; // stale wake
+                        }
+                        slot.status = Status::Running;
+                        slot.epoch += 1;
+                        slot.gate.clone()
+                    };
+                    gate.open();
+                    self.inner.engine_gate.wait();
+                }
+                EventKind::Call(f) => f(),
+            }
+        }
+        let s = self.inner.state.lock();
+        if let Some(_p) = &s.panic_payload {
+            drop(s);
+            let p = self.inner.state.lock().panic_payload.take().unwrap();
+            self.shutdown();
+            panic::resume_unwind(p);
+        }
+        let blocked = s
+            .threads
+            .iter()
+            .filter(|t| t.status == Status::Blocked && !t.daemon)
+            .map(|t| t.name.clone())
+            .collect();
+        let now = s.now;
+        Ok(SimReport { now, blocked })
+    }
+
+    /// Unwind and join every remaining green thread. Called automatically on
+    /// drop; idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut s = self.inner.state.lock();
+            if s.shutting_down {
+                return;
+            }
+            s.shutting_down = true;
+        }
+        loop {
+            let next = {
+                let mut s = self.inner.state.lock();
+                let mut found = None;
+                for (i, slot) in s.threads.iter_mut().enumerate() {
+                    if slot.status == Status::Blocked {
+                        slot.status = Status::Running;
+                        slot.epoch += 1;
+                        found = Some((TaskId(i), slot.gate.clone()));
+                        break;
+                    }
+                }
+                found
+            };
+            match next {
+                Some((_tid, gate)) => {
+                    gate.open();
+                    self.inner.engine_gate.wait();
+                }
+                None => break,
+            }
+        }
+        // Join all finished OS threads.
+        let handles: Vec<_> = {
+            let mut s = self.inner.state.lock();
+            s.threads.iter_mut().filter_map(|t| t.join.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Low-level wait/notify surface used by sibling modules and dependent crates.
+// ---------------------------------------------------------------------------
+
+/// A one-cycle wake target: the calling green thread at its current epoch.
+///
+/// Capture a token *before* publishing the fact that you are about to block
+/// (e.g. before releasing the lock on a queue's waiter list), then call
+/// [`park`]. Any holder of the token can [`WaitToken::wake`] you exactly once;
+/// stale tokens are ignored.
+#[derive(Clone)]
+pub struct WaitToken {
+    inner: Arc<Inner>,
+    tid: TaskId,
+    epoch: u64,
+}
+
+impl WaitToken {
+    /// Wake the target at the current virtual time.
+    pub fn wake(&self) {
+        let now = self.inner.now();
+        self.inner.schedule_wake(self.tid, self.epoch, now);
+    }
+
+    /// Wake the target at absolute virtual time `at`.
+    pub fn wake_at(&self, at: u64) {
+        self.inner.schedule_wake(self.tid, self.epoch, at);
+    }
+
+    /// Task this token targets.
+    pub fn task(&self) -> TaskId {
+        self.tid
+    }
+}
+
+impl std::fmt::Debug for WaitToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitToken").field("tid", &self.tid).field("epoch", &self.epoch).finish()
+    }
+}
+
+/// A cloneable handle to the engine usable from engine-thread closures
+/// (where no green-thread context exists), e.g. CPU-model ticks and link
+/// releases that must reschedule themselves.
+#[derive(Clone)]
+pub struct EngineHandle {
+    inner: Arc<Inner>,
+}
+
+impl EngineHandle {
+    /// Handle for the simulation the calling green thread belongs to.
+    pub fn current() -> EngineHandle {
+        with_current(|inner, _| EngineHandle { inner: inner.clone() })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    /// Schedule `f` on the engine thread at absolute time `at`.
+    pub fn call_at(&self, at: u64, f: impl FnOnce() + Send + 'static) {
+        self.inner.schedule_call(at, Box::new(f));
+    }
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EngineHandle")
+    }
+}
+
+/// Capture a wake token for the calling green thread's current block cycle.
+pub fn wait_token() -> WaitToken {
+    with_current(|inner, tid| WaitToken {
+        inner: inner.clone(),
+        tid,
+        epoch: inner.current_epoch(tid),
+    })
+}
+
+/// Block the calling green thread until a wake targeting its current epoch
+/// fires. Always re-check your condition in a loop: wakes can be spurious
+/// when multiple notifiers race.
+pub fn park() {
+    with_current(|inner, tid| inner.block_current(tid));
+}
+
+/// Run `f` on the engine thread at absolute virtual time `at`. The closure
+/// must not block; it may schedule wakes and further calls.
+pub fn call_at(at: u64, f: impl FnOnce() + Send + 'static) {
+    with_current(|inner, _| inner.schedule_call(at, Box::new(f)));
+}
+
+/// Run `f` on the engine thread at the current virtual time (after the
+/// current thread next yields).
+pub fn call_soon(f: impl FnOnce() + Send + 'static) {
+    with_current(|inner, _| {
+        let now = inner.now();
+        inner.schedule_call(now, Box::new(f))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, delay) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let log = log.clone();
+            sim.spawn(name, move || {
+                crate::sleep(delay);
+                log.lock().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_spawn_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for name in ["x", "y", "z"] {
+            let log = log.clone();
+            sim.spawn(name, move || log.lock().push(name));
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.lock(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn call_at_runs_on_engine() {
+        let sim = Sim::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        sim.spawn("a", move || {
+            let hits3 = hits2.clone();
+            call_at(100, move || {
+                hits3.fetch_add(1, Ordering::SeqCst);
+            });
+            crate::sleep(200);
+            assert_eq!(hits2.load(Ordering::SeqCst), 1);
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.now, 200);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_token_wakes_parked_thread() {
+        let sim = Sim::new();
+        let slot: Arc<Mutex<Option<WaitToken>>> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        sim.spawn("sleeper", move || {
+            let tok = wait_token();
+            *slot2.lock() = Some(tok);
+            park();
+            assert_eq!(crate::now(), 500);
+        });
+        let slot3 = slot.clone();
+        sim.spawn("waker", move || {
+            crate::sleep(1); // let sleeper park first
+            let tok = slot3.lock().take().unwrap();
+            tok.wake_at(500);
+        });
+        let r = sim.run().unwrap();
+        r.assert_clean();
+        assert_eq!(r.now, 500);
+    }
+
+    #[test]
+    fn stale_wake_is_ignored() {
+        let sim = Sim::new();
+        sim.spawn("a", || {
+            let tok = wait_token();
+            // Wake the current cycle twice; second is stale after resume.
+            tok.wake_at(10);
+            tok.wake_at(20);
+            park();
+            assert_eq!(crate::now(), 10);
+            // Sleep past the stale wake; it must not cut the sleep short.
+            crate::sleep(100);
+            assert_eq!(crate::now(), 110);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn daemon_threads_do_not_count_as_stuck() {
+        let sim = Sim::new();
+        sim.spawn_daemon("server", || {
+            park(); // blocks forever
+        });
+        sim.spawn("client", || crate::sleep(5));
+        let r = sim.run().unwrap();
+        assert!(r.blocked.is_empty());
+        assert_eq!(r.now, 5);
+    }
+
+    #[test]
+    fn non_daemon_blocked_is_reported() {
+        let sim = Sim::new();
+        sim.spawn("stuck-guy", || park());
+        let r = sim.run().unwrap();
+        assert_eq!(r.blocked, vec!["stuck-guy".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn green_thread_panic_propagates() {
+        let sim = Sim::new();
+        sim.spawn("bad", || panic!("boom"));
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn run_can_be_called_repeatedly() {
+        let sim = Sim::new();
+        sim.spawn("a", || crate::sleep(10));
+        assert_eq!(sim.run().unwrap().now, 10);
+        sim.spawn("b", || crate::sleep(5));
+        assert_eq!(sim.run().unwrap().now, 15);
+    }
+
+    #[test]
+    fn shutdown_unwinds_blocked_threads() {
+        let sim = Sim::new();
+        sim.spawn_daemon("forever", || loop {
+            park();
+        });
+        sim.run().unwrap();
+        sim.shutdown();
+        // Dropping sim afterwards must not hang.
+    }
+
+    #[test]
+    fn determinism_same_program_same_timings() {
+        fn once() -> u64 {
+            let sim = Sim::new();
+            let total = Arc::new(AtomicU64::new(0));
+            for i in 0..10u64 {
+                let total = total.clone();
+                sim.spawn(format!("t{i}"), move || {
+                    crate::sleep(i * 7 % 13);
+                    total.fetch_add(crate::now() * (i + 1), Ordering::SeqCst);
+                });
+            }
+            sim.run().unwrap();
+            total.load(Ordering::SeqCst)
+        }
+        assert_eq!(once(), once());
+    }
+}

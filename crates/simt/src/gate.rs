@@ -1,0 +1,79 @@
+//! One-shot re-armable handoff gate between the engine and a green thread.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A binary semaphore used to pass the single "run token" back and forth
+/// between the engine thread and a green thread. `open` may happen before
+/// `wait`; the token is consumed by `wait`.
+pub(crate) struct Gate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Self {
+        Gate { flag: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Hand the token to the waiter (or leave it for a future waiter).
+    pub(crate) fn open(&self) {
+        let mut g = self.flag.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    /// Block the OS thread until the token arrives, then consume it.
+    pub(crate) fn wait(&self) {
+        let mut g = self.flag.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn open_before_wait_does_not_block() {
+        let g = Gate::new();
+        g.open();
+        g.wait(); // returns immediately
+    }
+
+    #[test]
+    fn token_is_consumed() {
+        let g = Arc::new(Gate::new());
+        g.open();
+        g.wait();
+        // Second wait must block until a new open arrives from another thread.
+        let g2 = g.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            g2.open();
+        });
+        g.wait();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let a = Arc::new(Gate::new());
+        let b = Arc::new(Gate::new());
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                a2.wait();
+                b2.open();
+            }
+        });
+        for _ in 0..100 {
+            a.open();
+            b.wait();
+        }
+        h.join().unwrap();
+    }
+}

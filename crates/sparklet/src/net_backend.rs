@@ -1,0 +1,140 @@
+//! Pluggable network backends: which transport and cost stack each plane
+//! (control RPC vs. shuffle) of each process uses.
+//!
+//! This is the seam the three evaluated systems differ at:
+//!
+//! * [`VanillaBackend`] — Netty NIO over Java sockets for everything
+//!   (Vanilla Spark / "IPoIB" in the paper's figures).
+//! * `rdma-spark::RdmaBackend` — sockets for RPC, RDMA verbs for the
+//!   shuffle plane (RDMA-Spark's UCR `BlockTransferService`).
+//! * `mpi4spark::MpiBackend` — the paper's contribution: Netty with an MPI
+//!   transport (Basic or Optimized) on both planes.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use fabric::{Net, NodeId};
+use netz::{NioTransport, RpcHandler, TransportConf, TransportContext};
+
+use crate::config::SparkConf;
+
+/// What a process is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Cluster master.
+    Master,
+    /// Worker `i`.
+    Worker(usize),
+    /// The driver.
+    Driver,
+    /// Executor `i`.
+    Executor(usize),
+}
+
+/// Identity handed to the backend when a process builds its networking.
+#[derive(Clone)]
+pub struct ProcIdentity {
+    /// Role in the cluster.
+    pub role: Role,
+    /// Node the process runs on.
+    pub node: NodeId,
+    /// Diagnostic name (`worker-3`, `executor-0`).
+    pub name: String,
+    /// Backend-specific context (e.g. MPI communicator handles injected by
+    /// the MPI4Spark launcher). Opaque to sparklet.
+    pub ext: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl ProcIdentity {
+    /// Identity without backend extensions.
+    pub fn new(role: Role, node: NodeId, name: impl Into<String>) -> Self {
+        ProcIdentity { role, node, name: name.into(), ext: None }
+    }
+}
+
+/// Factory for each process's transport contexts.
+pub trait NetworkBackend: Send + Sync + 'static {
+    /// Name used in reports (`vanilla`, `rdma`, `mpi-optimized`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Transport context for the control-plane RPC environment.
+    fn rpc_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext;
+
+    /// Transport context for an executor's shuffle/block service plane.
+    fn shuffle_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext;
+}
+
+/// Vanilla Spark: Netty NIO over Java sockets on both planes.
+pub struct VanillaBackend {
+    conf: TransportConf,
+}
+
+impl Default for VanillaBackend {
+    fn default() -> Self {
+        VanillaBackend { conf: TransportConf::default_sockets() }
+    }
+}
+
+impl VanillaBackend {
+    /// Backend honoring the engine configuration's timeouts.
+    pub fn with_conf(spark: &SparkConf) -> Self {
+        let mut conf = TransportConf::default_sockets();
+        conf.request_timeout_ns = spark.request_timeout_ns;
+        conf.connect_timeout_ns = spark.connect_timeout_ns;
+        VanillaBackend { conf }
+    }
+}
+
+impl NetworkBackend for VanillaBackend {
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn rpc_context(
+        &self,
+        _identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        TransportContext::with_transport(net.clone(), self.conf, handler, Arc::new(NioTransport))
+    }
+
+    fn shuffle_context(
+        &self,
+        _identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        TransportContext::with_transport(net.clone(), self.conf, handler, Arc::new(NioTransport))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_uses_socket_stack_on_both_planes() {
+        let backend = VanillaBackend::default();
+        assert_eq!(backend.name(), "vanilla");
+        assert_eq!(backend.conf.stack.name, "JavaSockets/IPoIB");
+    }
+
+    #[test]
+    fn identity_constructor() {
+        let id = ProcIdentity::new(Role::Executor(3), 2, "executor-3");
+        assert_eq!(id.role, Role::Executor(3));
+        assert_eq!(id.node, 2);
+        assert!(id.ext.is_none());
+    }
+}

@@ -1,0 +1,366 @@
+//! Concrete lineage nodes and task runners.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::data::Element;
+use crate::rdd::partitioner::Partitioner;
+use crate::rdd::{RddOps, ShuffleDepMeta, TaskOutput, TaskRunner};
+use crate::shuffle::{read_shuffle, write_shuffle};
+use crate::storage::{BlockId, StoredBlock};
+use crate::task::TaskContext;
+
+/// Map-side combine hook (`reduceByKey` aggregation before the write).
+pub type MapSideCombine<K, M> =
+    Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<(K, M)> + Send + Sync>;
+
+/// Reduce-side post-processing (grouping, reducing, sorting, identity).
+pub type PostShuffle<K, M, U> = Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<U> + Send + Sync>;
+
+// --- sources ---------------------------------------------------------------
+
+/// Lazily generated source (workload datagen). Generation cost is charged
+/// from the produced records' virtual sizes.
+pub struct GenerateRdd<T: Element> {
+    /// RDD id.
+    pub id: u64,
+    /// Partition count.
+    pub parts: usize,
+    /// Generator.
+    pub f: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+}
+
+impl<T: Element> RddOps<T> for GenerateRdd<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<T> {
+        let v = (self.f)(part);
+        let bytes: u64 = v.iter().map(Element::virtual_size).sum();
+        ctx.charge(ctx.cost().gen(v.len() as u64, bytes));
+        v
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        Vec::new()
+    }
+}
+
+/// Pre-materialized source (`parallelize`).
+pub struct ParallelizeRdd<T: Element> {
+    /// RDD id.
+    pub id: u64,
+    /// Records per partition.
+    pub data: Arc<Vec<Vec<T>>>,
+}
+
+impl<T: Element> RddOps<T> for ParallelizeRdd<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.data.len()
+    }
+    fn compute(&self, part: usize, _ctx: &TaskContext) -> Vec<T> {
+        self.data[part].clone()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        Vec::new()
+    }
+}
+
+// --- narrow ------------------------------------------------------------------
+
+/// Whole-partition transformation node.
+pub struct MapPartitionsRdd<U: Element, T: Element> {
+    /// RDD id.
+    pub id: u64,
+    /// Upstream node.
+    pub parent: Arc<dyn RddOps<U>>,
+    /// The transformation.
+    pub f: Arc<dyn Fn(&TaskContext, Vec<U>) -> Vec<T> + Send + Sync>,
+}
+
+impl<U: Element, T: Element> RddOps<T> for MapPartitionsRdd<U, T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<T> {
+        let input = self.parent.compute(part, ctx);
+        (self.f)(ctx, input)
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        self.parent.shuffle_deps()
+    }
+}
+
+/// Caching node: first computation stores the partition in the executor's
+/// block manager (typed cache + virtual accounting); later computations hit
+/// the cache.
+pub struct CachedRdd<T: Element> {
+    /// RDD id (cache key).
+    pub id: u64,
+    /// Upstream node.
+    pub parent: Arc<dyn RddOps<T>>,
+}
+
+impl<T: Element> RddOps<T> for CachedRdd<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<T> {
+        let bm = &ctx.services.block_manager;
+        if let Some(hit) = bm.cache_get::<T>(self.id, part as u32) {
+            // Reading from the in-memory cache: a memory-scan charge.
+            let bytes: u64 = hit.iter().map(Element::virtual_size).sum();
+            ctx.charge(ctx.cost().map(hit.len() as u64, bytes));
+            return hit.as_ref().clone();
+        }
+        let data = self.parent.compute(part, ctx);
+        let bytes: u64 = data.iter().map(Element::virtual_size).sum();
+        bm.cache_put(self.id, part as u32, Arc::new(data.clone()));
+        bm.put(
+            BlockId::Rdd { rdd_id: self.id, partition: part as u32 },
+            StoredBlock { data: bytes::Bytes::new(), virtual_len: bytes, records: data.len() as u64 },
+        );
+        data
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        self.parent.shuffle_deps()
+    }
+}
+
+/// Concatenation node: partition `i` comes from the parent owning it.
+pub struct UnionRdd<T: Element> {
+    /// RDD id.
+    pub id: u64,
+    /// Parents, concatenated in order.
+    pub parents: Vec<Arc<dyn RddOps<T>>>,
+}
+
+impl<T: Element> RddOps<T> for UnionRdd<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<T> {
+        let mut offset = part;
+        for parent in &self.parents {
+            if offset < parent.num_partitions() {
+                return parent.compute(offset, ctx);
+            }
+            offset -= parent.num_partitions();
+        }
+        panic!("union partition {part} out of range");
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        self.parents.iter().flat_map(|p| p.shuffle_deps()).collect()
+    }
+}
+
+// --- wide -----------------------------------------------------------------
+
+/// A shuffle dependency: map-side records `(K, M)` partitioned by `K`.
+pub struct ShuffleDep<K, M>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+{
+    /// The shuffle's id.
+    pub shuffle_id: u32,
+    /// Map-side lineage.
+    pub parent: Arc<dyn RddOps<(K, M)>>,
+    /// Reduce partitioning.
+    pub partitioner: Arc<dyn Partitioner<K>>,
+    /// Upstream shuffle stages (already topologically ordered).
+    pub upstream: Vec<Arc<dyn ShuffleDepMeta>>,
+    /// Optional map-side combine.
+    pub map_side_combine: Option<MapSideCombine<K, M>>,
+}
+
+/// Map task for one `ShuffleDep` partition.
+struct ShuffleMapTask<K, M>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+{
+    dep: Arc<ShuffleDep<K, M>>,
+    part: usize,
+}
+
+impl<K, M> TaskRunner for ShuffleMapTask<K, M>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+{
+    fn run(&self, ctx: &TaskContext) -> TaskOutput {
+        let mut records = self.dep.parent.compute(self.part, ctx);
+        if let Some(combine) = &self.dep.map_side_combine {
+            records = combine(ctx, records);
+        }
+        let partitioner = self.dep.partitioner.clone();
+        let status = write_shuffle(
+            ctx,
+            self.dep.shuffle_id,
+            self.part as u32,
+            partitioner.num_partitions(),
+            records,
+            move |(k, _): &(K, M)| partitioner.partition(k),
+        );
+        TaskOutput::Map(status)
+    }
+}
+
+impl<K, M> ShuffleDepMeta for ShuffleDep<K, M>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+{
+    fn shuffle_id(&self) -> u32 {
+        self.shuffle_id
+    }
+    fn num_maps(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn num_reduces(&self) -> usize {
+        self.partitioner.num_partitions()
+    }
+    fn make_map_task(&self, part: usize) -> Arc<dyn TaskRunner> {
+        Arc::new(ShuffleMapTask { dep: self_arc(self), part })
+    }
+    fn upstream(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        self.upstream.clone()
+    }
+}
+
+/// `ShuffleDepMeta::make_map_task` needs an `Arc<ShuffleDep>`, but trait
+/// methods only see `&self`. The deps are always constructed into `Arc`s and
+/// registered in lineage nodes; reconstruct a cheap Arc by cloning fields.
+fn self_arc<K, M>(dep: &ShuffleDep<K, M>) -> Arc<ShuffleDep<K, M>>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+{
+    Arc::new(ShuffleDep {
+        shuffle_id: dep.shuffle_id,
+        parent: dep.parent.clone(),
+        partitioner: dep.partitioner.clone(),
+        upstream: dep.upstream.clone(),
+        map_side_combine: dep.map_side_combine.clone(),
+    })
+}
+
+/// Reduce-side node: reads the shuffle and applies `post`.
+pub struct ShuffleReadRdd<K, M, U>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+    U: Element,
+{
+    /// RDD id.
+    pub id: u64,
+    /// The dependency read from.
+    pub dep: Arc<ShuffleDep<K, M>>,
+    /// Reduce-side processing.
+    pub post: PostShuffle<K, M, U>,
+}
+
+impl<K, M, U> RddOps<U> for ShuffleReadRdd<K, M, U>
+where
+    K: Element + Hash + Eq,
+    M: Element,
+    U: Element,
+{
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.dep.partitioner.num_partitions()
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<U> {
+        let pairs = read_shuffle::<(K, M)>(ctx, self.dep.shuffle_id, part as u32);
+        (self.post)(ctx, pairs)
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        vec![self.dep.clone()]
+    }
+}
+
+/// Two-input co-group node.
+pub struct CoGroupRdd<K, V, W>
+where
+    K: Element + Hash + Eq,
+    V: Element,
+    W: Element,
+{
+    /// RDD id.
+    pub id: u64,
+    /// Left dependency.
+    pub dep_a: Arc<ShuffleDep<K, V>>,
+    /// Right dependency.
+    pub dep_b: Arc<ShuffleDep<K, W>>,
+}
+
+impl<K, V, W> RddOps<(K, (Vec<V>, Vec<W>))> for CoGroupRdd<K, V, W>
+where
+    K: Element + Hash + Eq,
+    V: Element,
+    W: Element,
+{
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn num_partitions(&self) -> usize {
+        self.dep_a.partitioner.num_partitions()
+    }
+    fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<(K, (Vec<V>, Vec<W>))> {
+        use std::collections::HashMap;
+        let a = read_shuffle::<(K, V)>(ctx, self.dep_a.shuffle_id, part as u32);
+        let b = read_shuffle::<(K, W)>(ctx, self.dep_b.shuffle_id, part as u32);
+        ctx.charge(ctx.cost().group((a.len() + b.len()) as u64, 0));
+        let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+        for (k, v) in a {
+            table.entry(k).or_default().0.push(v);
+        }
+        for (k, w) in b {
+            table.entry(k).or_default().1.push(w);
+        }
+        table.into_iter().collect()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
+        vec![self.dep_a.clone(), self.dep_b.clone()]
+    }
+}
+
+// --- result tasks -------------------------------------------------------------
+
+/// Result-stage task: compute the partition and apply the action function.
+pub struct ResultTask<T: Element, R: Send + Sync + 'static> {
+    /// Lineage to compute.
+    pub ops: Arc<dyn RddOps<T>>,
+    /// Per-partition action.
+    pub f: Arc<dyn Fn(&TaskContext, Vec<T>) -> R + Send + Sync>,
+    /// The partition.
+    pub part: usize,
+}
+
+impl<T: Element, R: Send + Sync + 'static> TaskRunner for ResultTask<T, R> {
+    fn run(&self, ctx: &TaskContext) -> TaskOutput {
+        let data = self.ops.compute(self.part, ctx);
+        {
+            let mut m = ctx.metrics.lock();
+            m.records_out += data.len() as u64;
+        }
+        TaskOutput::Result(Arc::new((self.f)(ctx, data)))
+    }
+}

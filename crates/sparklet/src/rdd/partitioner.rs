@@ -1,0 +1,152 @@
+//! Partitioners: hash (groupBy/reduceBy/join) and range (sortByKey).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Maps keys to reduce partitions.
+pub trait Partitioner<K>: Send + Sync + 'static {
+    /// Number of reduce partitions.
+    fn num_partitions(&self) -> usize;
+    /// Partition of `key`; must be `< num_partitions()`.
+    fn partition(&self, key: &K) -> usize;
+}
+
+/// Spark's `HashPartitioner`.
+pub struct HashPartitioner {
+    parts: usize,
+}
+
+impl HashPartitioner {
+    /// Hash partitioner over `parts` partitions.
+    pub fn new(parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        HashPartitioner { parts }
+    }
+}
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.parts as u64) as usize
+    }
+}
+
+/// Spark's `RangePartitioner`: keys ≤ `bounds[i]` go to partition `i`;
+/// larger keys to the last partition. Built from a sampled key set by
+/// `sort_by_key` (the sampling job is the extra job the paper's SortByTest
+/// breakdown shows).
+pub struct RangePartitioner<K> {
+    bounds: Vec<K>,
+}
+
+impl<K: Ord + Clone> RangePartitioner<K> {
+    /// Build bounds from a sample: `parts - 1` quantile split points.
+    pub fn from_sample(mut sample: Vec<K>, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        sample.sort();
+        let mut bounds = Vec::with_capacity(parts.saturating_sub(1));
+        if !sample.is_empty() {
+            for i in 1..parts {
+                let idx = (i * sample.len()) / parts;
+                bounds.push(sample[idx.min(sample.len() - 1)].clone());
+            }
+        }
+        bounds.dedup();
+        RangePartitioner { bounds }
+    }
+
+    /// The split points.
+    pub fn bounds(&self) -> &[K] {
+        &self.bounds
+    }
+
+    /// Total partitions (bounds + 1).
+    pub fn parts(&self) -> usize {
+        self.bounds.len() + 1
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static> Partitioner<K> for RangePartitioner<K> {
+    fn num_partitions(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        match self.bounds.binary_search(key) {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_covers_and_is_deterministic() {
+        let p = HashPartitioner::new(7);
+        for k in 0u64..1000 {
+            let a = Partitioner::<u64>::partition(&p, &k);
+            let b = Partitioner::<u64>::partition(&p, &k);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = HashPartitioner::new(0);
+    }
+
+    #[test]
+    fn range_partitioner_orders_partitions() {
+        let sample: Vec<u64> = (0..1000).collect();
+        let p = RangePartitioner::from_sample(sample, 4);
+        assert_eq!(p.num_partitions(), 4);
+        // Keys in ascending order land in non-decreasing partitions.
+        let mut last = 0;
+        for k in 0u64..1000 {
+            let part = p.partition(&k);
+            assert!(part >= last);
+            last = part;
+        }
+        assert_eq!(p.partition(&0), 0);
+        assert_eq!(p.partition(&u64::MAX), 3);
+    }
+
+    #[test]
+    fn range_partitioner_roughly_balances() {
+        let sample: Vec<u64> = (0..10_000).map(|i| i * 13 % 10_000).collect();
+        let p = RangePartitioner::from_sample(sample, 8);
+        let mut counts = vec![0usize; p.num_partitions()];
+        for k in 0u64..10_000 {
+            counts[p.partition(&k)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < min * 3 + 10, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn range_partitioner_empty_sample_degenerates_to_one() {
+        let p = RangePartitioner::<u64>::from_sample(vec![], 4);
+        assert_eq!(p.partition(&123), 0);
+    }
+
+    #[test]
+    fn range_partitioner_duplicate_heavy_sample() {
+        let sample = vec![5u64; 1000];
+        let p = RangePartitioner::from_sample(sample, 4);
+        // All bounds collapse to one: keys ≤ 5 → 0, keys > 5 → 1.
+        assert_eq!(p.partition(&1), 0);
+        assert_eq!(p.partition(&5), 0);
+        assert!(p.partition(&6) >= 1);
+    }
+}

@@ -1,0 +1,525 @@
+//! The DAG scheduler and `SparkContext`.
+//!
+//! Jobs decompose into `ShuffleMapStage`s (one per uncomputed shuffle
+//! dependency, parents first) and a final `ResultStage` — the exact stage
+//! vocabulary of the paper's Fig. 10/11 breakdowns. Stage timings and
+//! shuffle metrics are recorded per job for the benchmark harnesses.
+//!
+//! Task placement is strict modulo (`partition % executors`): deterministic
+//! and cache-friendly (a cached partition is always recomputed on the
+//! executor that cached it), standing in for Spark's locality preferences.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use simt::queue::Queue;
+
+use crate::config::SparkConf;
+use crate::data::Element;
+use crate::rdd::ops::{GenerateRdd, ParallelizeRdd};
+use crate::rdd::{AppCore, JobRunner, JobSpec, Rdd, TaskOutput, TaskRunner};
+use crate::rpc::{AnyMsg, ReplyFn, RpcEndpoint, RpcEnv, RpcRef};
+use crate::shuffle::MapOutputTrackerMaster;
+use crate::task::TaskMetrics;
+
+/// Timing and traffic for one stage.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Stage label (`Job1-ShuffleMapStage`, `Job1-ResultStage`, ...).
+    pub name: String,
+    /// Virtual start time.
+    pub start_ns: u64,
+    /// Virtual end time.
+    pub end_ns: u64,
+    /// Task count.
+    pub tasks: usize,
+    /// Total time tasks spent blocked on remote shuffle data.
+    pub fetch_wait_ns: u64,
+    /// Virtual bytes fetched from remote executors.
+    pub remote_bytes: u64,
+    /// Virtual bytes read from local blocks.
+    pub local_bytes: u64,
+}
+
+impl StageMetrics {
+    /// Wall (virtual) duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Timing for one job.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Sequential job id within the application.
+    pub job_id: u32,
+    /// Action that triggered the job.
+    pub action: String,
+    /// Virtual start time.
+    pub start_ns: u64,
+    /// Virtual end time.
+    pub end_ns: u64,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl JobMetrics {
+    /// Wall (virtual) duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Duration of the stage whose name contains `fragment`, if any.
+    pub fn stage_duration(&self, fragment: &str) -> Option<u64> {
+        self.stages.iter().find(|s| s.name.contains(fragment)).map(StageMetrics::duration_ns)
+    }
+}
+
+// --- messages exchanged with executors --------------------------------------
+
+/// Executor → scheduler registration (ask; reply `bool`).
+pub struct RegisterExecutor {
+    /// Executor id.
+    pub exec_id: usize,
+    /// Task slots.
+    pub cores: u32,
+    /// Address of the executor's RPC environment.
+    pub rpc_addr: fabric::PortAddr,
+}
+
+/// Scheduler → executor task launch (one-way).
+pub struct LaunchTask {
+    /// Stage instance the task belongs to.
+    pub stage_seq: u64,
+    /// Partition to compute.
+    pub part: usize,
+    /// Attempt number.
+    pub attempt: u32,
+    /// The work.
+    pub runner: Arc<dyn TaskRunner>,
+}
+
+/// Executor → scheduler completion (one-way).
+pub struct TaskFinishedMsg {
+    /// Stage instance.
+    pub stage_seq: u64,
+    /// Partition computed.
+    pub part: usize,
+    /// Reporting executor.
+    pub exec_id: usize,
+    /// The output (taken once by the scheduler).
+    pub output: Mutex<Option<TaskOutput>>,
+    /// Task metrics.
+    pub metrics: TaskMetrics,
+}
+
+/// Executor stop command (one-way).
+pub struct StopExecutor;
+
+/// Scheduler → executor: drop the cached map-output table for a shuffle
+/// whose locations changed after recovery (one-way).
+pub struct InvalidateShuffle {
+    /// The shuffle to invalidate.
+    pub shuffle_id: u32,
+}
+
+enum SchedEvent {
+    ExecutorRegistered,
+    TaskFinished { stage_seq: u64, part: usize, exec_id: usize, output: TaskOutput, metrics: TaskMetrics },
+}
+
+/// A registered executor.
+#[derive(Clone)]
+pub struct ExecutorHandle {
+    /// Executor id.
+    pub exec_id: usize,
+    /// Reference to its `Executor` endpoint.
+    pub rpc: RpcRef,
+    /// Task slots.
+    pub cores: u32,
+}
+
+/// The driver-side scheduler.
+pub struct DagScheduler {
+    env: OnceLock<Arc<RpcEnv>>,
+    executors: Mutex<Vec<ExecutorHandle>>,
+    events: Queue<SchedEvent>,
+    /// Map-output registry (also registered as an RPC endpoint).
+    pub tracker: Arc<MapOutputTrackerMaster>,
+    metrics: Mutex<Vec<JobMetrics>>,
+    next_job: AtomicU32,
+    next_stage_seq: AtomicU64,
+    computed_shuffles: Mutex<HashSet<u32>>,
+    /// Executors whose shuffle service failed a fetch; excluded from task
+    /// placement so recomputed map outputs land on healthy executors.
+    quarantined: Mutex<HashSet<usize>>,
+    job_running: AtomicBool,
+}
+
+impl Default for DagScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DagScheduler {
+    /// Fresh scheduler.
+    pub fn new() -> Self {
+        DagScheduler {
+            env: OnceLock::new(),
+            executors: Mutex::new(Vec::new()),
+            events: Queue::new(),
+            tracker: Arc::new(MapOutputTrackerMaster::default()),
+            metrics: Mutex::new(Vec::new()),
+            next_job: AtomicU32::new(0),
+            next_stage_seq: AtomicU64::new(0),
+            computed_shuffles: Mutex::new(HashSet::new()),
+            quarantined: Mutex::new(HashSet::new()),
+            job_running: AtomicBool::new(false),
+        }
+    }
+
+    /// Attach the driver's RPC environment (needed to build executor refs).
+    pub fn attach_env(&self, env: Arc<RpcEnv>) {
+        let _ = self.env.set(env);
+    }
+
+    /// Block until `n` executors have registered.
+    pub fn wait_for_executors(&self, n: usize) {
+        loop {
+            if self.executors.lock().len() >= n {
+                return;
+            }
+            match self.events.recv().expect("scheduler event queue open") {
+                SchedEvent::ExecutorRegistered => {}
+                SchedEvent::TaskFinished { .. } => {
+                    panic!("task completion before any job was submitted")
+                }
+            }
+        }
+    }
+
+    /// Registered executors (snapshot).
+    pub fn executors(&self) -> Vec<ExecutorHandle> {
+        self.executors.lock().clone()
+    }
+
+    /// Completed job metrics (snapshot).
+    pub fn job_metrics(&self) -> Vec<JobMetrics> {
+        self.metrics.lock().clone()
+    }
+
+    fn run_stage(
+        &self,
+        name: String,
+        tasks: Vec<(usize, Arc<dyn TaskRunner>)>,
+    ) -> (StageMetrics, Vec<(usize, TaskOutput)>) {
+        let stage_seq = self.next_stage_seq.fetch_add(1, Ordering::Relaxed);
+        let quarantined = self.quarantined.lock().clone();
+        let execs: Vec<ExecutorHandle> = self
+            .executors()
+            .into_iter()
+            .filter(|e| !quarantined.contains(&e.exec_id))
+            .collect();
+        assert!(!execs.is_empty(), "no healthy executors registered");
+        let n_exec = execs.len();
+        let n = tasks.len();
+        let start_ns = simt::now();
+
+        // Strict modulo placement (over healthy executors).
+        let mut queues: Vec<std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>> =
+            (0..n_exec).map(|_| Default::default()).collect();
+        for (p, t) in tasks {
+            queues[p % n_exec].push_back((p, t));
+        }
+        let mut free: Vec<u32> = execs.iter().map(|e| e.cores).collect();
+
+        let dispatch = |e: usize, free: &mut Vec<u32>, queues: &mut Vec<std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>>| {
+            while free[e] > 0 {
+                let Some((part, runner)) = queues[e].pop_front() else { break };
+                free[e] -= 1;
+                execs[e]
+                    .rpc
+                    .send(LaunchTask { stage_seq, part, attempt: 0, runner })
+                    .expect("executor reachable");
+            }
+        };
+        for e in 0..n_exec {
+            dispatch(e, &mut free, &mut queues);
+        }
+
+        let mut outputs: Vec<(usize, TaskOutput)> = Vec::with_capacity(n);
+        let mut done = 0usize;
+        let mut fetch_wait = 0u64;
+        let mut remote_bytes = 0u64;
+        let mut local_bytes = 0u64;
+        while done < n {
+            match self.events.recv().expect("scheduler event queue open") {
+                SchedEvent::ExecutorRegistered => {}
+                SchedEvent::TaskFinished { stage_seq: s, part, exec_id, output, metrics } => {
+                    if s != stage_seq {
+                        continue; // stray completion from an aborted stage
+                    }
+                    let slot = execs.iter().position(|e| e.exec_id == exec_id).expect("known exec");
+                    free[slot] += 1;
+                    dispatch(slot, &mut free, &mut queues);
+                    outputs.push((part, output));
+                    fetch_wait += metrics.shuffle_fetch_wait_ns;
+                    remote_bytes += metrics.remote_bytes;
+                    local_bytes += metrics.local_bytes;
+                    done += 1;
+                }
+            }
+        }
+        (
+            StageMetrics {
+                name,
+                start_ns,
+                end_ns: simt::now(),
+                tasks: n,
+                fetch_wait_ns: fetch_wait,
+                remote_bytes,
+                local_bytes,
+            },
+            outputs,
+        )
+    }
+}
+
+impl JobRunner for DagScheduler {
+    fn run_job(&self, job: JobSpec) -> Vec<AnyMsg> {
+        assert!(
+            !self.job_running.swap(true, Ordering::SeqCst),
+            "concurrent jobs are not supported; run jobs sequentially from one driver thread"
+        );
+        let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let start_ns = simt::now();
+        let mut stages = Vec::new();
+
+        for dep in &job.shuffle_stages {
+            if self.computed_shuffles.lock().contains(&dep.shuffle_id()) {
+                continue;
+            }
+            self.tracker.register_shuffle(dep.shuffle_id(), dep.num_maps());
+            let tasks: Vec<(usize, Arc<dyn TaskRunner>)> =
+                (0..dep.num_maps()).map(|p| (p, dep.make_map_task(p))).collect();
+            let (sm, outputs) = self.run_stage(format!("Job{job_id}-ShuffleMapStage"), tasks);
+            for (_, out) in outputs {
+                match out {
+                    TaskOutput::Map(status) => {
+                        self.tracker.register_map_output(dep.shuffle_id(), status)
+                    }
+                    _ => panic!("map stage produced a non-map output"),
+                }
+            }
+            debug_assert!(self.tracker.is_complete(dep.shuffle_id()));
+            self.computed_shuffles.lock().insert(dep.shuffle_id());
+            stages.push(sm);
+        }
+
+        // Result stage with fetch-failure recovery: a FetchFailed output
+        // quarantines the failing executor, recomputes its lost map outputs
+        // via lineage on the healthy executors, and retries the failed
+        // partitions (Spark's FetchFailedException / stage-resubmission).
+        let mut results_by_part: Vec<Option<AnyMsg>> =
+            (0..job.result_tasks.len()).map(|_| None).collect();
+        let mut pending: Vec<(usize, Arc<dyn TaskRunner>)> =
+            job.result_tasks.iter().cloned().enumerate().collect();
+        let mut attempt = 0;
+        while !pending.is_empty() {
+            assert!(attempt < 4, "result stage failed after {attempt} recovery attempts");
+            let (sm, outputs) =
+                self.run_stage(format!("Job{job_id}-ResultStage"), std::mem::take(&mut pending));
+            stages.push(sm);
+            let mut failed_execs: HashSet<usize> = HashSet::new();
+            let mut failed_shuffles: HashSet<u32> = HashSet::new();
+            let mut retry_parts: Vec<usize> = Vec::new();
+            for (part, out) in outputs {
+                match out {
+                    TaskOutput::Result(r) => results_by_part[part] = Some(r),
+                    TaskOutput::FetchFailed { shuffle_id, exec_id } => {
+                        failed_execs.insert(exec_id);
+                        failed_shuffles.insert(shuffle_id);
+                        retry_parts.push(part);
+                    }
+                    TaskOutput::Map(_) => panic!("result stage produced a map output"),
+                }
+            }
+            if retry_parts.is_empty() {
+                break;
+            }
+            // Quarantine and recompute the lost map outputs.
+            let mut lost: Vec<(u32, Vec<u32>)> = Vec::new();
+            {
+                let mut q = self.quarantined.lock();
+                for e in &failed_execs {
+                    q.insert(*e);
+                }
+            }
+            for e in &failed_execs {
+                lost.extend(self.tracker.remove_executor(*e));
+            }
+            // Every executor may hold a stale location table.
+            for shuffle_id in &failed_shuffles {
+                for e in self.executors() {
+                    let _ = e.rpc.send(InvalidateShuffle { shuffle_id: *shuffle_id });
+                }
+            }
+            for (shuffle_id, maps) in lost {
+                let dep = job
+                    .shuffle_stages
+                    .iter()
+                    .find(|d| d.shuffle_id() == shuffle_id)
+                    .unwrap_or_else(|| panic!("lineage for shuffle {shuffle_id} available"));
+                let tasks: Vec<(usize, Arc<dyn TaskRunner>)> =
+                    maps.iter().map(|m| (*m as usize, dep.make_map_task(*m as usize))).collect();
+                let (sm, outputs) =
+                    self.run_stage(format!("Job{job_id}-ShuffleMapStage-retry"), tasks);
+                stages.push(sm);
+                for (_, out) in outputs {
+                    match out {
+                        TaskOutput::Map(status) => {
+                            self.tracker.register_map_output(shuffle_id, status)
+                        }
+                        _ => panic!("map retry produced a non-map output"),
+                    }
+                }
+            }
+            pending = retry_parts
+                .into_iter()
+                .map(|p| (p, job.result_tasks[p].clone()))
+                .collect();
+            attempt += 1;
+        }
+        let results: Vec<AnyMsg> = results_by_part
+            .into_iter()
+            .map(|o| o.expect("every result partition completed"))
+            .collect();
+
+        self.metrics.lock().push(JobMetrics {
+            job_id,
+            action: job.action,
+            start_ns,
+            end_ns: simt::now(),
+            stages,
+        });
+        self.job_running.store(false, Ordering::SeqCst);
+        results
+    }
+}
+
+impl RpcEndpoint for DagScheduler {
+    fn receive(&self, msg: AnyMsg, reply: Option<ReplyFn>) {
+        if let Ok(reg) = msg.clone().downcast::<RegisterExecutor>() {
+            let env = self.env.get().expect("scheduler env attached").clone();
+            let rpc = env.endpoint_ref(reg.rpc_addr, "Executor");
+            self.executors.lock().push(ExecutorHandle {
+                exec_id: reg.exec_id,
+                rpc,
+                cores: reg.cores,
+            });
+            self.events.send(SchedEvent::ExecutorRegistered);
+            if let Some(reply) = reply {
+                reply(Arc::new(true));
+            }
+            return;
+        }
+        if let Ok(fin) = msg.downcast::<TaskFinishedMsg>() {
+            let output = fin.output.lock().take().expect("output taken once");
+            self.events.send(SchedEvent::TaskFinished {
+                stage_seq: fin.stage_seq,
+                part: fin.part,
+                exec_id: fin.exec_id,
+                output,
+                metrics: fin.metrics,
+            });
+        }
+    }
+}
+
+// --- SparkContext -------------------------------------------------------------
+
+/// The user-facing application handle, owned by the driver.
+pub struct SparkContext {
+    core: Arc<AppCore>,
+    sched: Arc<DagScheduler>,
+    broadcasts: Arc<crate::broadcast::BroadcastRegistry>,
+}
+
+impl SparkContext {
+    /// Build a context over a scheduler.
+    pub fn new(conf: SparkConf, default_parallelism: usize, sched: Arc<DagScheduler>) -> Self {
+        Self::with_broadcasts(conf, default_parallelism, sched, Arc::default())
+    }
+
+    /// Build a context sharing the driver's broadcast registry (the deploy
+    /// layer passes the registry its stream manager serves from).
+    pub fn with_broadcasts(
+        conf: SparkConf,
+        default_parallelism: usize,
+        sched: Arc<DagScheduler>,
+        broadcasts: Arc<crate::broadcast::BroadcastRegistry>,
+    ) -> Self {
+        let core = AppCore::new(conf, default_parallelism, sched.clone());
+        SparkContext { core, sched, broadcasts }
+    }
+
+    /// Broadcast a read-only value to the executors: each executor fetches
+    /// it from the driver once (charged as `virtual_size` wire bytes over
+    /// the `StreamResponse` path) and caches it for all its tasks.
+    pub fn broadcast<T: std::any::Any + Send + Sync>(
+        &self,
+        value: T,
+        virtual_size: u64,
+    ) -> crate::broadcast::Broadcast<T> {
+        let id = self.broadcasts.register(Arc::new(value), virtual_size);
+        crate::broadcast::Broadcast::new(id, virtual_size)
+    }
+
+    /// Engine configuration.
+    pub fn conf(&self) -> SparkConf {
+        self.core.conf
+    }
+
+    /// Default partition count (total cores in the paper's configs).
+    pub fn default_parallelism(&self) -> usize {
+        self.core.default_parallelism
+    }
+
+    /// Distribute an in-memory collection over `parts` partitions.
+    pub fn parallelize<T: Element>(&self, data: Vec<T>, parts: usize) -> Rdd<T> {
+        assert!(parts > 0);
+        let mut chunks: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+        for (i, x) in data.into_iter().enumerate() {
+            chunks[i % parts].push(x);
+        }
+        Rdd {
+            core: self.core.clone(),
+            ops: Arc::new(ParallelizeRdd { id: self.core.new_rdd_id(), data: Arc::new(chunks) }),
+        }
+    }
+
+    /// A lazily generated dataset: partition `p` holds `f(p)`.
+    pub fn generate<T: Element>(
+        &self,
+        parts: usize,
+        f: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Rdd<T> {
+        Rdd {
+            core: self.core.clone(),
+            ops: Arc::new(GenerateRdd { id: self.core.new_rdd_id(), parts, f: Arc::new(f) }),
+        }
+    }
+
+    /// Metrics of all completed jobs.
+    pub fn job_metrics(&self) -> Vec<JobMetrics> {
+        self.sched.job_metrics()
+    }
+
+    /// The scheduler (deployment and tests).
+    pub fn scheduler(&self) -> &Arc<DagScheduler> {
+        &self.sched
+    }
+}

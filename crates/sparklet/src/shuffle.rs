@@ -1,0 +1,398 @@
+//! The shuffle: map-output tracking, the sort-based writer, and the
+//! batched block fetcher (`ShuffleBlockFetcherIterator`).
+//!
+//! This module generates exactly the message sequences the paper's Fig. 4
+//! walks through: a reduce task resolves block locations from the
+//! `MapOutputTracker`, serves local blocks straight from its
+//! `BlockManager`, and fetches remote blocks through the
+//! `BlockTransferService` with `maxBytesInFlight` batching.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use fabric::PortAddr;
+use parking_lot::Mutex;
+use simt::queue::Queue;
+
+use crate::data::{decode_batch, encode_batch, Element};
+use crate::rpc::{AnyMsg, ReplyFn, RpcEndpoint, RpcRef};
+use crate::storage::{BlockId, StoredBlock};
+use crate::task::TaskContext;
+use crate::transfer::FetchResult;
+
+/// Panic payload thrown by [`read_shuffle`] when remote blocks cannot be
+/// fetched. The executor's task wrapper catches it and reports
+/// `TaskOutput::FetchFailed` to the driver, which triggers lineage-based
+/// recomputation of the lost map outputs (Spark's `FetchFailedException`
+/// path).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchFailedSignal {
+    /// Shuffle whose blocks were unreachable.
+    pub shuffle_id: u32,
+    /// Executor that failed to serve them.
+    pub exec_id: usize,
+}
+
+/// Location and sizes of one map task's output (Spark's `MapStatus`).
+#[derive(Debug, Clone)]
+pub struct MapStatus {
+    /// Map partition that produced the output.
+    pub map_id: u32,
+    /// Executor holding the blocks.
+    pub exec_id: usize,
+    /// Address of that executor's shuffle service.
+    pub shuffle_addr: PortAddr,
+    /// Virtual bytes per reduce partition.
+    pub sizes: Arc<Vec<u64>>,
+    /// Records per reduce partition.
+    pub records: Arc<Vec<u64>>,
+}
+
+/// Tracker request: map statuses for one shuffle.
+pub struct GetMapOutputs {
+    /// Shuffle of interest.
+    pub shuffle_id: u32,
+}
+
+/// Driver-side map output registry (Spark's `MapOutputTrackerMaster`).
+#[derive(Default)]
+pub struct MapOutputTrackerMaster {
+    outputs: Mutex<HashMap<u32, Vec<Option<MapStatus>>>>,
+}
+
+impl MapOutputTrackerMaster {
+    /// Prepare a shuffle with `num_maps` slots.
+    pub fn register_shuffle(&self, shuffle_id: u32, num_maps: usize) {
+        self.outputs.lock().entry(shuffle_id).or_insert_with(|| vec![None; num_maps]);
+    }
+
+    /// Record one finished map task's status.
+    pub fn register_map_output(&self, shuffle_id: u32, status: MapStatus) {
+        let mut o = self.outputs.lock();
+        let slots = o.get_mut(&shuffle_id).expect("shuffle registered before outputs");
+        let idx = status.map_id as usize;
+        slots[idx] = Some(status);
+    }
+
+    /// Remove all statuses for an executor (fault injection / recovery);
+    /// returns the map ids that must be recomputed per shuffle.
+    pub fn remove_executor(&self, exec_id: usize) -> Vec<(u32, Vec<u32>)> {
+        let mut lost = Vec::new();
+        for (shuffle, slots) in self.outputs.lock().iter_mut() {
+            let mut maps = Vec::new();
+            for s in slots.iter_mut() {
+                if let Some(st) = s {
+                    if st.exec_id == exec_id {
+                        maps.push(st.map_id);
+                        *s = None;
+                    }
+                }
+            }
+            if !maps.is_empty() {
+                lost.push((*shuffle, maps));
+            }
+        }
+        lost
+    }
+
+    /// True when every map slot is filled.
+    pub fn is_complete(&self, shuffle_id: u32) -> bool {
+        self.outputs
+            .lock()
+            .get(&shuffle_id)
+            .is_some_and(|slots| slots.iter().all(Option::is_some))
+    }
+
+    fn statuses(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
+        let o = self.outputs.lock();
+        let slots = o.get(&shuffle_id).expect("shuffle registered");
+        Arc::new(
+            slots
+                .iter()
+                .map(|s| s.clone().expect("all map outputs registered before reads"))
+                .collect(),
+        )
+    }
+}
+
+impl RpcEndpoint for MapOutputTrackerMaster {
+    fn receive(&self, msg: AnyMsg, reply: Option<ReplyFn>) {
+        let Ok(req) = msg.downcast::<GetMapOutputs>() else { return };
+        if let Some(reply) = reply {
+            reply(self.statuses(req.shuffle_id));
+        }
+    }
+}
+
+/// Executor-side tracker client with a per-shuffle cache.
+#[derive(Clone)]
+pub struct MapOutputClient {
+    tracker: RpcRef,
+    cache: Arc<Mutex<HashMap<u32, Arc<Vec<MapStatus>>>>>,
+}
+
+impl MapOutputClient {
+    /// Client talking to the driver's tracker endpoint.
+    pub fn new(tracker: RpcRef) -> Self {
+        MapOutputClient { tracker, cache: Arc::default() }
+    }
+
+    /// Statuses for `shuffle_id` (cached after the first fetch — Spark
+    /// executors do the same, which matters because every reduce task on
+    /// the executor needs the same table).
+    pub fn get(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
+        if let Some(s) = self.cache.lock().get(&shuffle_id) {
+            return s.clone();
+        }
+        let statuses = self
+            .tracker
+            .ask::<Vec<MapStatus>>(GetMapOutputs { shuffle_id })
+            .expect("map output tracker reachable");
+        self.cache.lock().insert(shuffle_id, statuses.clone());
+        statuses
+    }
+
+    /// Drop a cached table (fetch-failure recovery path).
+    pub fn invalidate(&self, shuffle_id: u32) {
+        self.cache.lock().remove(&shuffle_id);
+    }
+}
+
+// --- shuffle write ---------------------------------------------------------
+
+/// Partition, serialize, and store one map task's output; returns the
+/// `MapStatus`. `partition_of` maps each record to its reduce partition.
+pub fn write_shuffle<T: Element>(
+    ctx: &TaskContext,
+    shuffle_id: u32,
+    map_id: u32,
+    num_reduces: usize,
+    records: Vec<T>,
+    partition_of: impl Fn(&T) -> usize,
+) -> MapStatus {
+    let mut buckets: Vec<Vec<T>> = (0..num_reduces).map(|_| Vec::new()).collect();
+    let mut total_bytes = 0u64;
+    let n_records = records.len() as u64;
+    for r in records {
+        total_bytes += r.virtual_size();
+        let p = partition_of(&r);
+        debug_assert!(p < num_reduces, "partitioner out of range");
+        buckets[p].push(r);
+    }
+    // Bucketing + serialization cost (the sort-based writer's write path).
+    let cost = ctx.cost();
+    ctx.charge(cost.group(n_records, 0) + cost.ser(n_records, total_bytes));
+
+    let bm = &ctx.services.block_manager;
+    let mut sizes = Vec::with_capacity(num_reduces);
+    let mut counts = Vec::with_capacity(num_reduces);
+    for (reduce_id, bucket) in buckets.into_iter().enumerate() {
+        let (bytes, virt) = encode_batch(&bucket);
+        sizes.push(virt);
+        counts.push(bucket.len() as u64);
+        bm.put(
+            BlockId::Shuffle { shuffle_id, map_id, reduce_id: reduce_id as u32 },
+            StoredBlock { data: bytes, virtual_len: virt, records: bucket.len() as u64 },
+        );
+    }
+    MapStatus {
+        map_id,
+        exec_id: ctx.services.exec_id,
+        shuffle_addr: ctx.services.shuffle_addr,
+        sizes: Arc::new(sizes),
+        records: Arc::new(counts),
+    }
+}
+
+// --- shuffle read ----------------------------------------------------------
+
+/// Read every block of `reduce_id`, local blocks directly and remote blocks
+/// through the batched fetcher. Returns the decoded records.
+pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u32) -> Vec<T> {
+    let statuses = ctx.services.map_outputs.get(shuffle_id);
+    let conf = &ctx.services.conf;
+    let cost = ctx.cost();
+    let my_exec = ctx.services.exec_id;
+    let bm = ctx.services.block_manager.clone();
+
+    // Split local vs remote, grouping remote blocks per serving executor.
+    let mut local: Vec<BlockId> = Vec::new();
+    let mut remote: HashMap<usize, (PortAddr, Vec<(BlockId, u64)>)> = HashMap::new();
+    for st in statuses.iter() {
+        let size = st.sizes[reduce_id as usize];
+        if st.records[reduce_id as usize] == 0 && size == 0 {
+            continue; // empty bucket: Spark skips zero-size blocks
+        }
+        let id = BlockId::Shuffle { shuffle_id, map_id: st.map_id, reduce_id };
+        if st.exec_id == my_exec {
+            local.push(id);
+        } else {
+            remote.entry(st.exec_id).or_insert_with(|| (st.shuffle_addr, Vec::new())).1.push((id, size));
+        }
+    }
+
+    // Build fetch requests ≤ target_request_size per request (Spark's
+    // grouping inside ShuffleBlockFetcherIterator).
+    struct Request {
+        addr: PortAddr,
+        exec_id: usize,
+        blocks: Vec<BlockId>,
+        bytes: u64,
+    }
+    let mut requests: Vec<Request> = Vec::new();
+    // Deterministic order: by executor id.
+    let mut remote: Vec<_> = remote.into_iter().collect();
+    remote.sort_by_key(|(e, _)| *e);
+    for (exec_id, (addr, blocks)) in remote {
+        let mut cur = Request { addr, exec_id, blocks: Vec::new(), bytes: 0 };
+        for (id, size) in blocks {
+            if cur.bytes > 0 && cur.bytes + size > conf.target_request_size {
+                requests.push(std::mem::replace(
+                    &mut cur,
+                    Request { addr, exec_id, blocks: Vec::new(), bytes: 0 },
+                ));
+            }
+            cur.blocks.push(id);
+            cur.bytes += size;
+        }
+        if !cur.blocks.is_empty() {
+            requests.push(cur);
+        }
+    }
+    // Block id -> serving executor, for failure attribution.
+    let exec_of: HashMap<BlockId, usize> = requests
+        .iter()
+        .flat_map(|r| r.blocks.iter().map(move |b| (*b, r.exec_id)))
+        .collect();
+
+    let mut out: Vec<T> = Vec::new();
+    let mut fetch_wait = 0u64;
+    let mut remote_bytes = 0u64;
+    let mut local_bytes = 0u64;
+
+    // Issue requests keeping at most max_bytes_in_flight outstanding.
+    let sink: Queue<FetchResult> = Queue::new();
+    let mut next_req = 0usize;
+    let mut in_flight_bytes = 0u64;
+    let mut in_flight_reqs = 0usize;
+    let transfer = ctx.services.transfer.clone();
+    let mut req_bytes: HashMap<usize, u64> = HashMap::new(); // issued index -> bytes
+    let mut issued_order: Vec<u64> = Vec::new();
+    while next_req < requests.len()
+        && (in_flight_bytes == 0 || in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight)
+    {
+        let r = &requests[next_req];
+        transfer.fetch_blocks(r.addr, r.blocks.clone(), sink.clone());
+        in_flight_bytes += r.bytes;
+        req_bytes.insert(next_req, r.bytes);
+        issued_order.push(r.bytes);
+        in_flight_reqs += 1;
+        next_req += 1;
+    }
+
+    // Drain local blocks while remote fetches are in flight (Spark reads
+    // local blocks first for the same reason).
+    for id in local {
+        let b = bm.get(id).expect("local shuffle block present");
+        local_bytes += b.virtual_len;
+        ctx.charge(cost.deser(b.records, b.virtual_len));
+        out.extend(decode_batch::<T>(&b.data));
+    }
+
+    while in_flight_reqs > 0 {
+        let t0 = simt::now();
+        let res = sink.recv().expect("fetch sink open");
+        fetch_wait += simt::now() - t0;
+        in_flight_reqs -= 1;
+        let blocks = match res.result {
+            Ok(b) => b,
+            Err(_e) => {
+                let exec_id = res.blocks.first().and_then(|b| exec_of.get(b)).copied().unwrap_or(0);
+                // Invalidate the cached map-output table so the retry sees
+                // the recomputed locations.
+                ctx.services.map_outputs.invalidate(shuffle_id);
+                std::panic::panic_any(FetchFailedSignal { shuffle_id, exec_id });
+            }
+        };
+        let mut freed = 0u64;
+        for b in blocks {
+            freed += b.virtual_len;
+            remote_bytes += b.virtual_len;
+            ctx.charge(cost.deser(b.records, b.virtual_len));
+            out.extend(decode_batch::<T>(&b.data));
+        }
+        in_flight_bytes = in_flight_bytes.saturating_sub(freed);
+        while next_req < requests.len()
+            && in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight
+        {
+            let r = &requests[next_req];
+            transfer.fetch_blocks(r.addr, r.blocks.clone(), sink.clone());
+            in_flight_bytes += r.bytes;
+            in_flight_reqs += 1;
+            next_req += 1;
+        }
+    }
+
+    let mut m = ctx.metrics.lock();
+    m.shuffle_fetch_wait_ns += fetch_wait;
+    m.remote_bytes += remote_bytes;
+    m.local_bytes += local_bytes;
+    out
+}
+
+/// Group `(K, V)` records into `(K, Vec<V>)` with hash-aggregation costs
+/// charged (reduce side of `groupByKey`).
+pub fn group_pairs<K: Element + Hash + Eq, V: Element>(
+    ctx: &TaskContext,
+    pairs: Vec<(K, V)>,
+) -> Vec<(K, Vec<V>)> {
+    let n = pairs.len() as u64;
+    let bytes: u64 = pairs.iter().map(|p| p.1.virtual_size()).sum();
+    ctx.charge(ctx.cost().group(n, bytes));
+    let mut map: HashMap<K, Vec<V>> = HashMap::new();
+    for (k, v) in pairs {
+        map.entry(k).or_default().push(v);
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(map_id: u32, exec: usize, sizes: Vec<u64>) -> MapStatus {
+        MapStatus {
+            map_id,
+            exec_id: exec,
+            shuffle_addr: PortAddr { node: exec, port: 1 },
+            records: Arc::new(sizes.iter().map(|s| s / 8).collect()),
+            sizes: Arc::new(sizes),
+        }
+    }
+
+    #[test]
+    fn tracker_registers_and_serves() {
+        let t = MapOutputTrackerMaster::default();
+        t.register_shuffle(1, 2);
+        assert!(!t.is_complete(1));
+        t.register_map_output(1, status(0, 0, vec![8, 16]));
+        t.register_map_output(1, status(1, 1, vec![24, 0]));
+        assert!(t.is_complete(1));
+        let s = t.statuses(1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].exec_id, 1);
+    }
+
+    #[test]
+    fn remove_executor_clears_its_outputs() {
+        let t = MapOutputTrackerMaster::default();
+        t.register_shuffle(1, 3);
+        t.register_map_output(1, status(0, 0, vec![8]));
+        t.register_map_output(1, status(1, 1, vec![8]));
+        t.register_map_output(1, status(2, 0, vec![8]));
+        let lost = t.remove_executor(0);
+        assert_eq!(lost, vec![(1, vec![0, 2])]);
+        assert!(!t.is_complete(1));
+    }
+}

@@ -1,0 +1,108 @@
+//! Task-side execution context: the services an executor exposes to its
+//! running tasks, and per-task metrics.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{Net, Payload, PortAddr};
+use parking_lot::Mutex;
+use simt::Cpu;
+
+use crate::config::SparkConf;
+use crate::rpc::RpcEnv;
+use crate::shuffle::MapOutputClient;
+use crate::storage::BlockManager;
+use crate::transfer::BlockTransferService;
+
+/// Everything a task can reach on its executor (Spark's `SparkEnv`).
+pub struct ExecutorServices {
+    /// Executor id within the application.
+    pub exec_id: usize,
+    /// The fabric (disk writes, diagnostics).
+    pub net: Net,
+    /// Node the executor runs on.
+    pub node: usize,
+    /// The node's shared CPU (compute charging).
+    pub cpu: Cpu,
+    /// Engine configuration.
+    pub conf: SparkConf,
+    /// Local block store.
+    pub block_manager: Arc<BlockManager>,
+    /// Shuffle-plane client.
+    pub transfer: Arc<dyn BlockTransferService>,
+    /// Map-output location client (caches driver responses).
+    pub map_outputs: MapOutputClient,
+    /// Address of this executor's shuffle service (advertised in
+    /// `MapStatus`).
+    pub shuffle_addr: PortAddr,
+    /// This executor's RPC environment (driver stream fetches).
+    pub rpc_env: Arc<RpcEnv>,
+    /// The driver's environment address.
+    pub driver_addr: PortAddr,
+    /// Executor-local cache of fetched broadcast values.
+    pub broadcast_cache: Mutex<HashMap<u64, BroadcastSlot>>,
+}
+
+/// State of one broadcast id on an executor.
+pub enum BroadcastSlot {
+    /// A task is fetching it from the driver; wait for `Ready`.
+    Fetching,
+    /// Cached value.
+    Ready(Arc<dyn Any + Send + Sync>),
+}
+
+impl ExecutorServices {
+    /// Fetch a named stream from the driver (jars, broadcasts).
+    pub fn fetch_driver_stream(&self, name: &str) -> Result<Payload, String> {
+        self.rpc_env.fetch_stream(self.driver_addr, name).map_err(|e| e.to_string())
+    }
+}
+
+/// Metrics accumulated by one task.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TaskMetrics {
+    /// Time spent blocked waiting for remote shuffle data (ns).
+    pub shuffle_fetch_wait_ns: u64,
+    /// Virtual bytes fetched from remote executors.
+    pub remote_bytes: u64,
+    /// Virtual bytes read from local shuffle blocks.
+    pub local_bytes: u64,
+    /// Records produced by the task.
+    pub records_out: u64,
+    /// Virtual size of the task's result value (charged on the wire when
+    /// the completion message travels back to the driver; ML aggregations
+    /// set this to their partial-aggregate size).
+    pub result_bytes: u64,
+    /// Total task wall time (ns), filled by the executor.
+    pub run_ns: u64,
+}
+
+/// Context handed to a running task.
+pub struct TaskContext {
+    /// Executor services.
+    pub services: Arc<ExecutorServices>,
+    /// Partition this task computes.
+    pub partition: usize,
+    /// Attempt number (0 on first try).
+    pub attempt: u32,
+    /// Mutable task metrics.
+    pub metrics: Mutex<TaskMetrics>,
+}
+
+impl TaskContext {
+    /// Build a context for `partition`.
+    pub fn new(services: Arc<ExecutorServices>, partition: usize, attempt: u32) -> Self {
+        TaskContext { services, partition, attempt, metrics: Mutex::new(TaskMetrics::default()) }
+    }
+
+    /// Charge `work_ns` of compute against the executor's node CPU.
+    pub fn charge(&self, work_ns: u64) {
+        self.services.cpu.execute(work_ns);
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> crate::config::CostModel {
+        self.services.conf.cost
+    }
+}

@@ -1,0 +1,359 @@
+//! Block transfer: the shuffle-plane service and client
+//! (Spark's `BlockTransferService` / `OneForOneStreamManager`).
+//!
+//! Data flow (paper Fig. 4): the reducer's `ShuffleBlockFetcherIterator`
+//! sends an `OpenBlocks` RPC naming the blocks it wants; the serving
+//! executor registers a stream over those blocks and replies with a stream
+//! handle; the reducer then issues `ChunkFetchRequest`s and the server
+//! answers with `ChunkFetchSuccess` messages carrying the block data — the
+//! message type whose body MPI4Spark-Optimized routes over MPI.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fabric::{Net, Payload, PortAddr};
+use netz::buf::{ByteReader, ByteWriter};
+use netz::{ChannelCore, StreamManager, TransportClient, TransportContext};
+use parking_lot::Mutex;
+use simt::queue::Queue;
+
+use crate::config::SparkConf;
+use crate::net_backend::{NetworkBackend, ProcIdentity};
+use crate::storage::{BlockId, BlockManager, StoredBlock};
+
+/// RPC opening a stream over named blocks.
+pub struct OpenBlocks {
+    /// Blocks requested, in fetch order.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Reply to [`OpenBlocks`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamHandle {
+    /// Stream to fetch chunks from.
+    pub stream_id: u64,
+    /// Number of chunks in the stream.
+    pub chunks: u32,
+}
+
+/// One fetched group of blocks (or a failure for the whole group).
+pub struct FetchResult {
+    /// Blocks this result covers.
+    pub blocks: Vec<BlockId>,
+    /// Decoded per-block data, ordered as `blocks`.
+    pub result: Result<Vec<StoredBlock>, String>,
+}
+
+/// Shuffle-plane client interface. Implementations: the Netty-based default
+/// below; RDMA-Spark and MPI4Spark reuse it with different transports, which
+/// is faithful — both systems keep this layer and swap what is underneath.
+pub trait BlockTransferService: Send + Sync + 'static {
+    /// Fetch `blocks` from the shuffle service at `remote`; push the result
+    /// into `sink` when it arrives (does not block for the data).
+    fn fetch_blocks(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>);
+
+    /// Close cached connections.
+    fn close(&self);
+}
+
+// --- encoding of merged block groups -------------------------------------
+
+/// Encode a group of stored blocks into one chunk body.
+pub fn encode_block_group(blocks: &[StoredBlock]) -> (Bytes, u64) {
+    let mut w = ByteWriter::with_capacity(64 + blocks.iter().map(|b| b.data.len()).sum::<usize>());
+    w.put_u32(blocks.len() as u32);
+    let mut virt = 4u64;
+    for b in blocks {
+        w.put_u32(b.data.len() as u32);
+        w.put_u64(b.virtual_len);
+        w.put_u64(b.records);
+        w.put_slice(&b.data);
+        virt += b.virtual_len + 20;
+    }
+    (w.freeze(), virt)
+}
+
+/// Decode a chunk body produced by [`encode_block_group`].
+pub fn decode_block_group(data: &[u8]) -> Result<Vec<StoredBlock>, String> {
+    let mut r = ByteReader::new(data);
+    let n = r.get_u32().ok_or("truncated group header")? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.get_u32().ok_or("truncated block length")? as usize;
+        let virtual_len = r.get_u64().ok_or("truncated virtual length")?;
+        let records = r.get_u64().ok_or("truncated record count")?;
+        let mut buf = vec![0u8; len];
+        for b in buf.iter_mut() {
+            *b = r.get_u8().ok_or("truncated block data")?;
+        }
+        out.push(StoredBlock { data: Bytes::from(buf), virtual_len, records });
+    }
+    Ok(out)
+}
+
+// --- server side ----------------------------------------------------------
+
+struct StreamState {
+    chunks: Vec<Vec<BlockId>>,
+    served: usize,
+}
+
+/// The serving side of the shuffle plane: an RPC handler + stream manager
+/// over the executor's block manager.
+pub struct ShuffleService {
+    block_manager: Arc<BlockManager>,
+    streams: Mutex<HashMap<u64, StreamState>>,
+    next_stream: AtomicU64,
+    conf: SparkConf,
+    /// Served-bytes counter (reports).
+    pub bytes_served: AtomicU64,
+}
+
+impl ShuffleService {
+    /// Start the service on `identity`'s node; returns the handler and the
+    /// bound endpoint.
+    pub fn start(
+        identity: &ProcIdentity,
+        net: &Net,
+        backend: &Arc<dyn NetworkBackend>,
+        block_manager: Arc<BlockManager>,
+        conf: SparkConf,
+    ) -> (Arc<ShuffleService>, netz::Endpoint) {
+        let svc = Arc::new(ShuffleService {
+            block_manager,
+            streams: Mutex::new(HashMap::new()),
+            next_stream: AtomicU64::new(1),
+            conf,
+            bytes_served: AtomicU64::new(0),
+        });
+        let ctx: TransportContext =
+            backend.shuffle_context(identity, net, Arc::new(SvcHandler { svc: svc.clone() }));
+        let ep = ctx.create_client_endpoint(format!("shuffle:{}", identity.name), identity.node);
+        (svc, ep)
+    }
+
+    fn open(&self, blocks: Vec<BlockId>) -> StreamHandle {
+        let chunks: Vec<Vec<BlockId>> = if self.conf.merge_chunks_per_request {
+            vec![blocks]
+        } else {
+            blocks.into_iter().map(|b| vec![b]).collect()
+        };
+        let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        let n = chunks.len() as u32;
+        self.streams.lock().insert(id, StreamState { chunks, served: 0 });
+        StreamHandle { stream_id: id, chunks: n }
+    }
+}
+
+/// RPC-handler wrapper installed on the shuffle endpoint; forwards
+/// `OpenBlocks` to the service and exposes it as the stream manager.
+struct SvcHandler {
+    svc: Arc<ShuffleService>,
+}
+
+impl netz::RpcHandler for SvcHandler {
+    fn receive(
+        &self,
+        _chan: &Arc<ChannelCore>,
+        body: Payload,
+        reply: netz::context::RpcResponseCallback,
+    ) {
+        let Some(open) = body.value_as::<OpenBlocks>() else {
+            reply(Err("shuffle service only accepts OpenBlocks".into()));
+            return;
+        };
+        let handle = self.svc.open(open.blocks.clone());
+        reply(Ok(Payload::control(handle, 64)));
+    }
+
+    fn stream_manager(&self) -> Arc<dyn StreamManager> {
+        self.svc.clone()
+    }
+}
+
+impl StreamManager for ShuffleService {
+    fn get_chunk(&self, stream_id: u64, chunk_index: u32) -> Result<Payload, String> {
+        let block_ids = {
+            let streams = self.streams.lock();
+            let st = streams.get(&stream_id).ok_or_else(|| format!("unknown stream {stream_id}"))?;
+            st.chunks
+                .get(chunk_index as usize)
+                .cloned()
+                .ok_or_else(|| format!("chunk {chunk_index} out of range"))?
+        };
+        let mut blocks = Vec::with_capacity(block_ids.len());
+        for id in &block_ids {
+            let b = self
+                .block_manager
+                .get(*id)
+                .ok_or_else(|| format!("block {id} not found"))?;
+            blocks.push(b);
+        }
+        let (bytes, virt) = encode_block_group(&blocks);
+        self.bytes_served.fetch_add(virt, Ordering::Relaxed);
+        // Stream bookkeeping: drop fully served streams.
+        {
+            let mut streams = self.streams.lock();
+            if let Some(st) = streams.get_mut(&stream_id) {
+                st.served += 1;
+                if st.served >= st.chunks.len() {
+                    streams.remove(&stream_id);
+                }
+            }
+        }
+        let real = bytes.len() as u64;
+        Ok(Payload::bytes_scaled(bytes, virt.max(real)))
+    }
+
+    fn chunk_fetch_cpu_ns(&self) -> u64 {
+        2_000
+    }
+}
+
+// --- client side ------------------------------------------------------------
+
+/// Default shuffle-plane client: netz channels to remote shuffle services.
+pub struct NettyBlockTransferService {
+    endpoint: netz::Endpoint,
+    clients: Mutex<HashMap<PortAddr, TransportClient>>,
+}
+
+impl NettyBlockTransferService {
+    /// Build the client side on `identity`'s node using the backend's
+    /// shuffle-plane transport.
+    pub fn new(identity: &ProcIdentity, net: &Net, backend: &Arc<dyn NetworkBackend>) -> Arc<Self> {
+        let ctx = backend.shuffle_context(identity, net, Arc::new(netz::NoOpRpcHandler));
+        let endpoint =
+            ctx.create_client_endpoint(format!("fetch:{}", identity.name), identity.node);
+        Arc::new(NettyBlockTransferService { endpoint, clients: Mutex::new(HashMap::new()) })
+    }
+
+    fn client(&self, addr: PortAddr) -> Result<TransportClient, String> {
+        {
+            let cache = self.clients.lock();
+            if let Some(c) = cache.get(&addr) {
+                if c.is_active() {
+                    return Ok(c.clone());
+                }
+            }
+        }
+        let c = self.endpoint.connect(addr).map_err(|e| e.to_string())?;
+        self.clients.lock().insert(addr, c.clone());
+        Ok(c)
+    }
+}
+
+impl BlockTransferService for NettyBlockTransferService {
+    fn fetch_blocks(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>) {
+        let client = match self.client(remote) {
+            Ok(c) => c,
+            Err(e) => {
+                sink.send(FetchResult { blocks, result: Err(e) });
+                return;
+            }
+        };
+        let handle = match client.send_rpc(Payload::control(
+            OpenBlocks { blocks: blocks.clone() },
+            64 + 16 * blocks.len() as u64,
+        )) {
+            Ok(reply) => match reply.value_as::<StreamHandle>() {
+                Some(h) => *h,
+                None => {
+                    sink.send(FetchResult { blocks, result: Err("bad OpenBlocks reply".into()) });
+                    return;
+                }
+            },
+            Err(e) => {
+                sink.send(FetchResult { blocks, result: Err(e.to_string()) });
+                return;
+            }
+        };
+        // One callback per chunk; chunks cover `blocks` in order (a single
+        // chunk covers all of them in merged mode). Exactly ONE FetchResult
+        // is emitted per fetch_blocks call — the reader's in-flight
+        // accounting depends on it — so chunk results aggregate here.
+        let n_chunks = handle.chunks as usize;
+        struct Agg {
+            slots: Vec<Option<Result<Vec<StoredBlock>, String>>>,
+            done: usize,
+        }
+        let agg = Arc::new(Mutex::new(Agg { slots: (0..n_chunks).map(|_| None).collect(), done: 0 }));
+        let blocks = Arc::new(blocks);
+        for i in 0..n_chunks {
+            let sink = sink.clone();
+            let agg = agg.clone();
+            let blocks = blocks.clone();
+            client.fetch_chunk_async(
+                handle.stream_id,
+                i as u32,
+                Box::new(move |res| {
+                    let finished = {
+                        let mut a = agg.lock();
+                        a.slots[i] = Some(match res {
+                            Ok(payload) => decode_block_group(&payload.bytes),
+                            Err(e) => Err(e.to_string()),
+                        });
+                        a.done += 1;
+                        a.done == n_chunks
+                    };
+                    if finished {
+                        let mut a = agg.lock();
+                        let mut all = Vec::new();
+                        let mut err = None;
+                        for slot in a.slots.iter_mut() {
+                            match slot.take().expect("all chunks resolved") {
+                                Ok(mut b) => all.append(&mut b),
+                                Err(e) => err = Some(e),
+                            }
+                        }
+                        let result = match err {
+                            None => Ok(all),
+                            Some(e) => Err(e),
+                        };
+                        sink.send(FetchResult { blocks: blocks.as_ref().clone(), result });
+                    }
+                }),
+            );
+        }
+    }
+
+    fn close(&self) {
+        for (_, c) in self.clients.lock().drain() {
+            c.close();
+        }
+        self.endpoint.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_group_roundtrip() {
+        let blocks = vec![
+            StoredBlock { data: Bytes::from_static(b"alpha"), virtual_len: 1000, records: 3 },
+            StoredBlock { data: Bytes::from_static(b""), virtual_len: 0, records: 0 },
+            StoredBlock { data: Bytes::from_static(b"z"), virtual_len: 1 << 20, records: 7 },
+        ];
+        let (bytes, virt) = encode_block_group(&blocks);
+        assert!(virt >= 1000 + (1 << 20));
+        let back = decode_block_group(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(&back[0].data[..], b"alpha");
+        assert_eq!(back[0].records, 3);
+        assert_eq!(back[2].virtual_len, 1 << 20);
+    }
+
+    #[test]
+    fn decode_garbage_errors() {
+        assert!(decode_block_group(&[1, 2]).is_err());
+        // Claims 5 blocks but has no data.
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        let b = w.freeze();
+        assert!(decode_block_group(&b).is_err());
+    }
+}

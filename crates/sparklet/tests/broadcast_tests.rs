@@ -1,0 +1,104 @@
+//! Broadcast variables end to end: correct values in tasks, one fetch per
+//! executor (cached thereafter), and delivery over the StreamResponse path
+//! on every transport.
+
+use std::sync::Arc;
+
+use fabric::ClusterSpec;
+use sparklet::deploy::{simulate, ClusterConfig, ProcessBuilderLauncher};
+use sparklet::{SparkConf, VanillaBackend};
+
+fn conf() -> SparkConf {
+    let mut conf = SparkConf::default();
+    conf.executor_cores = 4;
+    conf.cost.task_overhead_ns = 10_000;
+    conf
+}
+
+#[test]
+fn broadcast_value_reaches_every_task() {
+    let spec = ClusterSpec::test(5); // 3 workers
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf());
+    let (sum, _) = simulate(
+        &spec,
+        cluster,
+        Arc::new(VanillaBackend::default()),
+        Arc::new(ProcessBuilderLauncher),
+        |sc| {
+            let weights = sc.broadcast(vec![2u64, 3, 5], 1 << 20);
+            sc.generate(9, |p| vec![p as u64; 10])
+                .map_partitions(move |ctx, v| {
+                    let w = weights.get(ctx);
+                    assert_eq!(*w, vec![2, 5 - 2, 5]);
+                    v.into_iter().map(|x| x * w[0]).collect::<Vec<u64>>()
+                })
+                .reduce(|a, b| a + b)
+        },
+    );
+    // sum over p in 0..9 of 10*p*2 = 2*10*36 = 720.
+    assert_eq!(sum, Some(720));
+}
+
+#[test]
+fn broadcast_fetched_once_per_executor() {
+    // 12 tasks over 3 executors using the same broadcast: wall time must
+    // reflect ≤3 transfers of the (large) broadcast, not 12. We check by
+    // comparing against a run with a tiny broadcast: the time difference
+    // must be ~3 transfers' worth, not 12.
+    fn run_with(size: u64) -> u64 {
+        let spec = ClusterSpec::frontera(5);
+        let cluster = ClusterConfig::paper_layout(spec.len(), conf());
+        let (_, metrics) = simulate(
+            &spec,
+            cluster,
+            Arc::new(VanillaBackend::default()),
+            Arc::new(ProcessBuilderLauncher),
+            move |sc| {
+                let b = sc.broadcast(7u64, size);
+                sc.generate(12, |_| vec![1u64])
+                    .map_partitions(move |ctx, v| {
+                        assert_eq!(*b.get(ctx), 7);
+                        v
+                    })
+                    .count()
+            },
+        );
+        metrics[0].duration_ns()
+    }
+    let small = run_with(1 << 10);
+    let big = run_with(512 << 20); // 512 MB broadcast
+    let delta = big.saturating_sub(small) as f64;
+    // One 512MB transfer over sockets ≈ 0.72s serialized per executor; three
+    // executors fetch concurrently from the driver's egress → ≈ 3 × 0.72s
+    // of serialized driver egress. Twelve fetches would be ≈ 8.6s.
+    assert!(delta > 1.0e9, "broadcast transfer not charged: {delta}");
+    assert!(delta < 5.0e9, "broadcast fetched per task, not per executor: {delta}");
+}
+
+#[test]
+fn broadcast_composes_with_shuffles() {
+    let spec = ClusterSpec::test(5);
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf());
+    let (mut out, _) = simulate(
+        &spec,
+        cluster,
+        Arc::new(VanillaBackend::default()),
+        Arc::new(ProcessBuilderLauncher),
+        |sc| {
+            let scale = sc.broadcast(10u64, 4096);
+            let pairs: Vec<(u64, u64)> = (0..60u64).map(|i| (i % 6, i)).collect();
+            sc.parallelize(pairs, 6)
+                .reduce_by_key(4, |a, b| a + b)
+                .map_partitions(move |ctx, v| {
+                    let s = *scale.get(ctx);
+                    v.into_iter().map(|(k, sum)| (k, sum * s)).collect::<Vec<_>>()
+                })
+                .collect()
+        },
+    );
+    out.sort_unstable();
+    for (k, v) in out {
+        let expect: u64 = (0..60).filter(|i| i % 6 == k).sum::<u64>() * 10;
+        assert_eq!(v, expect);
+    }
+}

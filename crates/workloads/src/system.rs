@@ -1,0 +1,136 @@
+//! The unified system-under-test runner.
+
+use std::sync::Arc;
+
+use fabric::{ClusterSpec, Net};
+use mpi4spark::Design;
+use rdma_spark::RdmaBackend;
+use simt::sync::OnceCell;
+use simt::Sim;
+use sparklet::deploy::{ClusterConfig, ProcessBuilderLauncher};
+use sparklet::scheduler::{JobMetrics, SparkContext};
+use sparklet::VanillaBackend;
+
+/// The systems the paper evaluates (§VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Vanilla Spark — Netty NIO over sockets ("IPoIB" in the figures).
+    Vanilla,
+    /// RDMA-Spark — UCR `BlockTransferService` (IB only).
+    RdmaSpark,
+    /// MPI4Spark-Basic (§VI-D).
+    Mpi4SparkBasic,
+    /// MPI4Spark-Optimized (§VI-E) — "MPI" in the figures.
+    Mpi4Spark,
+}
+
+impl System {
+    /// Label used in tables (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Vanilla => "IPoIB",
+            System::RdmaSpark => "RDMA",
+            System::Mpi4SparkBasic => "MPI-Basic",
+            System::Mpi4Spark => "MPI",
+        }
+    }
+
+    /// All systems runnable on `spec`'s interconnect (RDMA-Spark is
+    /// IB-only, hence absent from the paper's Stampede2 results).
+    pub fn available_on(spec: &ClusterSpec) -> Vec<System> {
+        let mut v = vec![System::Vanilla];
+        if spec.interconnect.name.contains("IB") {
+            v.push(System::RdmaSpark);
+        }
+        v.push(System::Mpi4Spark);
+        v
+    }
+}
+
+/// Result of running one workload on one system.
+pub struct RunOutcome<R> {
+    /// Workload return value.
+    pub result: R,
+    /// Per-job metrics in submission order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl<R> RunOutcome<R> {
+    /// Total virtual duration summed over all jobs.
+    pub fn total_ns(&self) -> u64 {
+        self.jobs.iter().map(JobMetrics::duration_ns).sum()
+    }
+
+    /// Duration of job `j`'s stage whose name contains `fragment`.
+    pub fn stage_ns(&self, job: usize, fragment: &str) -> u64 {
+        self.jobs[job].stage_duration(fragment).unwrap_or(0)
+    }
+}
+
+impl System {
+    /// Run `app` on a fresh simulation of `spec` hardware with the paper's
+    /// cluster layout. One call = one experiment cell.
+    pub fn run<R: Send + Sync + 'static>(
+        &self,
+        spec: &ClusterSpec,
+        cluster: ClusterConfig,
+        app: impl FnOnce(&SparkContext) -> R + Send + 'static,
+    ) -> RunOutcome<R> {
+        let sim = Sim::new();
+        let net = Net::new(spec);
+        let out: OnceCell<(R, Vec<JobMetrics>)> = OnceCell::new();
+        let out2 = out.clone();
+        let system = *self;
+        let interconnect = spec.interconnect.clone();
+        sim.spawn("launcher", move || {
+            let r = match system {
+                System::Vanilla => sparklet::deploy::run_app(
+                    &net,
+                    &cluster,
+                    Arc::new(VanillaBackend::default()),
+                    Arc::new(ProcessBuilderLauncher),
+                    app,
+                ),
+                System::RdmaSpark => sparklet::deploy::run_app(
+                    &net,
+                    &cluster,
+                    Arc::new(RdmaBackend::new(&interconnect)),
+                    Arc::new(ProcessBuilderLauncher),
+                    app,
+                ),
+                System::Mpi4SparkBasic => {
+                    mpi4spark::run_app(&net, &cluster, Design::Basic, app)
+                }
+                System::Mpi4Spark => {
+                    mpi4spark::run_app(&net, &cluster, Design::Optimized, app)
+                }
+            };
+            out2.put(r);
+        });
+        sim.run().expect("simulation completes").assert_clean();
+        let (result, jobs) = out.try_take().expect("workload finished");
+        sim.shutdown();
+        RunOutcome { result, jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(System::Vanilla.label(), "IPoIB");
+        assert_eq!(System::RdmaSpark.label(), "RDMA");
+        assert_eq!(System::Mpi4Spark.label(), "MPI");
+    }
+
+    #[test]
+    fn rdma_unavailable_on_omni_path() {
+        let stampede = ClusterSpec::stampede2(4);
+        let systems = System::available_on(&stampede);
+        assert!(!systems.contains(&System::RdmaSpark));
+        let frontera = ClusterSpec::frontera(4);
+        assert!(System::available_on(&frontera).contains(&System::RdmaSpark));
+    }
+}

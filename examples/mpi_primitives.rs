@@ -1,0 +1,57 @@
+//! The MPI substrate by itself: SPMD launch, point-to-point messaging,
+//! collectives, and Dynamic Process Management — the facilities MPI4Spark's
+//! launcher builds on (paper §V, Fig. 3).
+//!
+//! ```text
+//! cargo run --release --example mpi_primitives
+//! ```
+
+use fabric::{ClusterSpec, Net};
+use rmpi::{mpiexec, Comm, SpawnSpec};
+use simt::Sim;
+
+fn main() {
+    let sim = Sim::new();
+    sim.spawn("launcher", || {
+        let net = Net::new(&ClusterSpec::internal(2));
+        // Step A (paper Fig. 3): launch 4 wrapper ranks.
+        mpiexec(&net, &[0, 1, 0, 1], |world: Comm| {
+            let rank = world.rank();
+
+            // Point-to-point ring.
+            let next = (rank + 1) % world.size();
+            let prev = (rank + world.size() - 1) % world.size();
+            world.send_value(next, 7, format!("hello from {rank}"), 64).unwrap();
+            let (msg, st) = world.recv_value::<String>(Some(prev), Some(7)).unwrap();
+            println!("rank {rank} received '{msg}' (src={}, t={})", st.source, simt::time::fmt_duration(simt::now()));
+
+            // Collective: allgather, as used to exchange executor specs.
+            let all = world.allgather(rank * 10, 8).unwrap();
+            assert_eq!(all, vec![0, 10, 20, 30]);
+
+            // Step C: rank 0 supplies DPM specs; everyone spawns together.
+            let specs = (rank == 0).then(|| {
+                (0..2)
+                    .map(|i| {
+                        SpawnSpec::new(format!("executor-{i}"), i % 2, move |dpm: Comm| {
+                            let parent = dpm.parent().unwrap();
+                            println!(
+                                "  executor {}/{} spawned (parents: {})",
+                                dpm.rank(),
+                                dpm.size(),
+                                parent.remote_size()
+                            );
+                            // Executors shuffle over DPM_COMM.
+                            let sum = dpm.allreduce(u64::from(dpm.rank()) + 1, 8, |a, b| a + b).unwrap();
+                            assert_eq!(sum, 3);
+                        })
+                    })
+                    .collect()
+            });
+            let inter = world.spawn_multiple(0, specs).unwrap();
+            assert_eq!(inter.remote_size(), 2);
+        });
+    });
+    sim.run().unwrap().assert_clean();
+    println!("done at virtual t = {}", simt::time::fmt_duration(sim.now()));
+}

@@ -1,0 +1,42 @@
+//! OHB GroupByTest with the paper's Fig. 10 stage breakdown, run on a
+//! scaled-down Frontera-like cluster under all three systems.
+//!
+//! ```text
+//! cargo run --release --example ohb_groupby
+//! ```
+
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::ohb::{group_by_app, OhbConfig, StageBreakdown};
+use workloads::System;
+
+fn main() {
+    let workers = 4;
+    let cores = 8;
+    let spec = fabric::ClusterSpec::frontera(workers + 2);
+    let cfg = OhbConfig::paper(workers, cores, 2); // 2 GiB per worker
+
+    println!("OHB GroupByTest: {} partitions, {:.1} GB total", cfg.partitions, cfg.total_bytes() as f64 / 1e9);
+    println!(
+        "{:>8}  {:>11} {:>10} {:>9} {:>9}  {:>13}",
+        "system", "datagen(ms)", "write(ms)", "read(ms)", "total(s)", "read-speedup"
+    );
+
+    let mut vanilla_read = None;
+    for system in System::available_on(&spec) {
+        let conf = SparkConf::paper_defaults(cores);
+        let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+        let out = system.run(&spec, cluster, move |sc| group_by_app(sc, cfg));
+        let b = StageBreakdown::from_jobs(&out.jobs);
+        let base = *vanilla_read.get_or_insert(b.shuffle_read_ns);
+        println!(
+            "{:>8}  {:>11.1} {:>10.1} {:>9.1} {:>9.2}  {:>12.2}x",
+            system.label(),
+            b.datagen_ns as f64 / 1e6,
+            b.shuffle_write_ns as f64 / 1e6,
+            b.shuffle_read_ns as f64 / 1e6,
+            out.total_ns() as f64 / 1e9,
+            base as f64 / b.shuffle_read_ns as f64,
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) over the stack's core invariants:
+//! codecs round-trip, partitioners cover and stay stable, shuffles preserve
+//! multisets, sorts order totally, and the virtual clock never regresses.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sparklet::data::{decode_batch, encode_batch};
+use sparklet::rdd::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
+use sparklet::Blob;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn element_batches_roundtrip(v in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..200)) {
+        let (bytes, virt) = encode_batch(&v);
+        let back: Vec<(u64, u64)> = decode_batch(&bytes);
+        prop_assert_eq!(back, v.clone());
+        prop_assert_eq!(virt, 4 + 16 * v.len() as u64);
+    }
+
+    #[test]
+    fn blob_batches_roundtrip(v in proptest::collection::vec((any::<u64>(), 0u32..10_000_000), 0..100)) {
+        let blobs: Vec<Blob> = v.iter().map(|(s, l)| Blob::new(*s, *l)).collect();
+        let (bytes, virt) = encode_batch(&blobs);
+        let back: Vec<Blob> = decode_batch(&bytes);
+        prop_assert_eq!(back, blobs.clone());
+        let expected: u64 = 4 + blobs.iter().map(|b| u64::from(b.len)).sum::<u64>();
+        prop_assert_eq!(virt, expected);
+    }
+
+    #[test]
+    fn string_batches_roundtrip(v in proptest::collection::vec(".{0,40}", 0..50)) {
+        let (bytes, _) = encode_batch(&v);
+        let back: Vec<String> = decode_batch(&bytes);
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn hash_partitioner_in_range_and_stable(keys in proptest::collection::vec(any::<u64>(), 1..500), parts in 1usize..64) {
+        let p = HashPartitioner::new(parts);
+        for k in &keys {
+            let a = Partitioner::<u64>::partition(&p, k);
+            prop_assert!(a < parts);
+            prop_assert_eq!(a, Partitioner::<u64>::partition(&p, k));
+        }
+    }
+
+    #[test]
+    fn range_partitioner_is_monotone(mut sample in proptest::collection::vec(any::<u64>(), 1..300), parts in 1usize..16, probes in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let p = RangePartitioner::from_sample(sample.clone(), parts);
+        sample.sort_unstable();
+        let mut probes = probes;
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for k in &probes {
+            let part = p.partition(k);
+            prop_assert!(part < p.num_partitions());
+            prop_assert!(part >= last, "monotonicity violated");
+            last = part;
+        }
+    }
+
+    #[test]
+    fn message_codec_roundtrips(request_id in any::<u64>(), stream in any::<u64>(), chunk in any::<u32>(), virt in 0u64..100_000_000) {
+        use netz::Message;
+        let cases = vec![
+            Message::RpcRequest { request_id, body: fabric::Payload::bytes_scaled(bytes::Bytes::new(), virt) },
+            Message::ChunkFetchRequest { stream_id: stream, chunk_index: chunk },
+            Message::ChunkFetchSuccess { stream_id: stream, chunk_index: chunk, body: fabric::Payload::bytes_scaled(bytes::Bytes::new(), virt) },
+            Message::StreamResponse { stream_id: format!("s{stream}"), byte_count: virt, body: fabric::Payload::bytes_scaled(bytes::Bytes::new(), virt) },
+        ];
+        for msg in cases {
+            let header = msg.encode_header();
+            let body = msg.body().cloned().unwrap_or_else(fabric::Payload::empty);
+            let back = Message::decode(&header, body).unwrap();
+            prop_assert_eq!(header.clone(), back.encode_header());
+            prop_assert_eq!(Message::peek_body_len(&header).unwrap(), msg.body_virtual_len());
+        }
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let sim = simt::Sim::new();
+        let delays2 = delays.clone();
+        sim.spawn("t", move || {
+            let mut last = simt::now();
+            for d in delays2 {
+                simt::sleep(d);
+                let now = simt::now();
+                assert!(now >= last);
+                last = now;
+            }
+        });
+        let expected: u64 = delays.iter().sum();
+        prop_assert_eq!(sim.run().unwrap().now, expected);
+    }
+}
+
+// Cluster-backed properties use fewer cases — each runs a full simulated
+// Spark cluster.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn shuffle_preserves_multisets(records in proptest::collection::vec((0u64..50, any::<u64>()), 1..300), parts in 1usize..12) {
+        use sparklet::deploy::{simulate, ClusterConfig, ProcessBuilderLauncher};
+        let spec = fabric::ClusterSpec::test(4);
+        let mut conf = sparklet::SparkConf::default();
+        conf.executor_cores = 4;
+        conf.cost.task_overhead_ns = 1_000;
+        let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+        let records2 = records.clone();
+        let (mut out, _) = simulate(
+            &spec,
+            cluster,
+            std::sync::Arc::new(sparklet::VanillaBackend::default()),
+            std::sync::Arc::new(ProcessBuilderLauncher),
+            move |sc| {
+                sc.parallelize(records2, 5)
+                    .partition_by(std::sync::Arc::new(HashPartitioner::new(parts)))
+                    .collect()
+            },
+        );
+        let mut expect = records;
+        out.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn distributed_groupby_matches_local(records in proptest::collection::vec((0u64..20, 0u64..1000), 1..200)) {
+        use sparklet::deploy::{simulate, ClusterConfig, ProcessBuilderLauncher};
+        let spec = fabric::ClusterSpec::test(4);
+        let mut conf = sparklet::SparkConf::default();
+        conf.executor_cores = 4;
+        conf.cost.task_overhead_ns = 1_000;
+        let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+        let records2 = records.clone();
+        let (out, _) = simulate(
+            &spec,
+            cluster,
+            std::sync::Arc::new(sparklet::VanillaBackend::default()),
+            std::sync::Arc::new(ProcessBuilderLauncher),
+            move |sc| sc.parallelize(records2, 4).group_by_key(3).collect(),
+        );
+        let mut oracle: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (k, v) in &records {
+            oracle.entry(*k).or_default().push(*v);
+        }
+        prop_assert_eq!(out.len(), oracle.len());
+        for (k, mut vs) in out {
+            vs.sort_unstable();
+            let mut expect = oracle[&k].clone();
+            expect.sort_unstable();
+            prop_assert_eq!(vs, expect);
+        }
+    }
+}
