@@ -46,9 +46,7 @@ fn bench_ohb_small(c: &mut Criterion) {
         ("mpi", System::Mpi4Spark),
         ("mpi_basic", System::Mpi4SparkBasic),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| run_cell(system, OhbBench::GroupBy, 2, 4, 1))
-        });
+        g.bench_function(name, |b| b.iter(|| run_cell(system, OhbBench::GroupBy, 2, 4, 1)));
     }
     g.finish();
 

@@ -9,10 +9,10 @@
 use std::sync::Arc;
 
 use fabric::Net;
-use mpi4spark_bench::report::{print_table, secs};
-use mpi4spark_bench::Scale;
 use mpi4spark::transport::BasicTuning;
 use mpi4spark::{Design, MpiBackend};
+use mpi4spark_bench::report::{print_table, secs};
+use mpi4spark_bench::Scale;
 use simt::sync::OnceCell;
 use sparklet::deploy::ClusterConfig;
 use sparklet::SparkConf;
@@ -29,9 +29,10 @@ fn run_basic_with(tuning: BasicTuning, workers: usize, cores: u32, gb: u64) -> u
     sim.spawn("launcher", move || {
         let net = Net::new(&spec);
         let backend = Arc::new(MpiBackend::new(Design::Basic).with_basic_tuning(tuning));
-        let (_r, jobs) = mpi4spark::launch::run_app_with_backend(&net, &cluster, backend, move |sc| {
-            group_by_app(sc, cfg)
-        });
+        let (_r, jobs) =
+            mpi4spark::launch::run_app_with_backend(&net, &cluster, backend, move |sc| {
+                group_by_app(sc, cfg)
+            });
         out2.put(jobs.iter().map(|j| j.duration_ns()).sum());
     });
     sim.run().expect("sim").assert_clean();

@@ -1,0 +1,88 @@
+//! Ablation: which message types ride MPI (paper §VI-E's routing choice).
+//!
+//! The paper's Optimized design sends only `ChunkFetchSuccess` and
+//! `StreamResponse` bodies over MPI, keeping headers and small RPCs on the
+//! socket path. This sweep re-runs the OHB GroupBy cell under
+//! MPI4Spark-Optimized with every named `RoutePolicy` — the policy is plain
+//! backend data, so each variant is a flag flip, not a code change.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin ablation_routing`
+//! One policy only: `... --bin ablation_routing -- --route-policy all-bodies`
+
+use mpi4spark_bench::ohb_runner::{run_cell_routed, OhbBench};
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::{frontera_cluster, Scale};
+use netz::RoutePolicy;
+use workloads::System;
+
+fn route_policy_arg() -> Option<RoutePolicy> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--route-policy" {
+            let v = args.get(i + 1).expect("--route-policy needs a value");
+            return Some(RoutePolicy::from_flag(v).unwrap_or_else(|| {
+                panic!(
+                    "unknown route policy '{v}' (expected none, chunk-bodies, \
+                     shuffle-bodies, all-bodies, or all-messages)"
+                )
+            }));
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cores = scale.frontera_cores();
+    let gb = scale.gb(14);
+    let workers = scale.workers(4).max(2);
+    let spec = frontera_cluster(workers);
+
+    let policies: Vec<RoutePolicy> = match route_policy_arg() {
+        Some(p) => vec![p],
+        None => vec![
+            RoutePolicy::NONE,
+            RoutePolicy::CHUNK_BODIES,
+            RoutePolicy::SHUFFLE_BODIES,
+            RoutePolicy::ALL_BODIES,
+        ],
+    };
+
+    let baseline = run_cell_routed(
+        &spec,
+        System::Mpi4Spark,
+        OhbBench::GroupBy,
+        workers,
+        cores,
+        gb,
+        Some(RoutePolicy::SHUFFLE_BODIES),
+    );
+
+    let mut rows = Vec::new();
+    for policy in policies {
+        let cell = run_cell_routed(
+            &spec,
+            System::Mpi4Spark,
+            OhbBench::GroupBy,
+            workers,
+            cores,
+            gb,
+            Some(policy),
+        );
+        rows.push(vec![
+            policy.flag_name().to_string(),
+            secs(cell.total_ns),
+            secs(cell.breakdown.shuffle_read_ns),
+            ratio(cell.breakdown.shuffle_read_ns, baseline.breakdown.shuffle_read_ns),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Ablation — body-routing policy, OHB GroupByTest {}GB/{}c (Frontera)",
+            gb * workers as u64,
+            workers * cores as usize
+        ),
+        &["policy", "total(s)", "read(s)", "read-vs-shuffle-bodies"],
+        &rows,
+    );
+}

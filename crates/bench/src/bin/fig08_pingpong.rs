@@ -25,7 +25,9 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Fig. 8 — Netty ping-pong latency, {panel} messages (internal cluster, IB-EDR)"),
+            &format!(
+                "Fig. 8 — Netty ping-pong latency, {panel} messages (internal cluster, IB-EDR)"
+            ),
             &["size", "NIO (us)", "Netty+MPI (us)", "speedup"],
             &rows,
         );

@@ -46,8 +46,15 @@ fn main() {
         print_table(
             &format!("Fig. 10 — Weak scaling, OHB {} (Frontera, {gb} GB/worker)", bench.name()),
             &[
-                "scale", "data", "system", "datagen(s)", "write(s)", "read(s)", "total(s)",
-                "total-speedup", "read-speedup",
+                "scale",
+                "data",
+                "system",
+                "datagen(s)",
+                "write(s)",
+                "read(s)",
+                "total(s)",
+                "total-speedup",
+                "read-speedup",
             ],
             &rows,
         );

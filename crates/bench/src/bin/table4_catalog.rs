@@ -16,8 +16,15 @@ fn main() {
     let spec = mpi4spark_bench::frontera_cluster(2);
     let conf = SparkConf::paper_defaults(4);
     let cluster = || ClusterConfig::paper_layout(spec.len(), conf);
-    let ohb = OhbConfig { partitions: 8, records_per_partition: 32, value_bytes: 1 << 14, key_range: 64, seed: 4 };
-    let micro = MicroConfig { partitions: 8, records_per_partition: 24, record_bytes: 1 << 13, seed: 4 };
+    let ohb = OhbConfig {
+        partitions: 8,
+        records_per_partition: 32,
+        value_bytes: 1 << 14,
+        key_range: 64,
+        seed: 4,
+    };
+    let micro =
+        MicroConfig { partitions: 8, records_per_partition: 24, record_bytes: 1 << 13, seed: 4 };
     let ml = MlConfig {
         partitions: 8,
         samples_per_partition: 96,
@@ -28,7 +35,14 @@ fn main() {
         pad_bytes: 2048,
         seed: 4,
     };
-    let nw = NWeightConfig { vertices: 64, degree: 3, hops: 2, partitions: 8, payload_pad: 256, seed: 4 };
+    let nw = NWeightConfig {
+        vertices: 64,
+        degree: 3,
+        hops: 2,
+        partitions: 8,
+        payload_pad: 256,
+        seed: 4,
+    };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let sys = System::Mpi4Spark;
@@ -43,17 +57,53 @@ fn main() {
     };
 
     let r = sys.run(&spec, cluster(), move |sc| svm_app(sc, ml));
-    add("HiBench", "SVM", "large-scale classification", "Machine Learning", format!("loss={:.3}", r.result.final_loss));
+    add(
+        "HiBench",
+        "SVM",
+        "large-scale classification",
+        "Machine Learning",
+        format!("loss={:.3}", r.result.final_loss),
+    );
     let r = sys.run(&spec, cluster(), move |sc| lda_app(sc, ml, 32, 4));
-    add("HiBench", "LDA", "topic model over documents", "Machine Learning", format!("nll={:.1}", r.result.final_loss));
+    add(
+        "HiBench",
+        "LDA",
+        "topic model over documents",
+        "Machine Learning",
+        format!("nll={:.1}", r.result.final_loss),
+    );
     let r = sys.run(&spec, cluster(), move |sc| gmm_app(sc, ml, 2));
-    add("HiBench", "GMM", "k-Gaussian mixture via EM", "Machine Learning", format!("nll={:.3}", r.result.final_loss));
+    add(
+        "HiBench",
+        "GMM",
+        "k-Gaussian mixture via EM",
+        "Machine Learning",
+        format!("nll={:.3}", r.result.final_loss),
+    );
     let r = sys.run(&spec, cluster(), move |sc| lr_app(sc, ml));
-    add("HiBench", "LR", "categorical response prediction", "Machine Learning", format!("loss={:.3}", r.result.final_loss));
+    add(
+        "HiBench",
+        "LR",
+        "categorical response prediction",
+        "Machine Learning",
+        format!("loss={:.3}", r.result.final_loss),
+    );
     let r = sys.run(&spec, cluster(), move |sc| repartition_app(sc, micro));
-    add("HiBench", "Repartition", "shuffle performance", "Micro Benchmarks", format!("records={}", r.result));
+    add(
+        "HiBench",
+        "Repartition",
+        "shuffle performance",
+        "Micro Benchmarks",
+        format!("records={}", r.result),
+    );
     let r = sys.run(&spec, cluster(), move |sc| terasort_app(sc, micro));
-    add("HiBench", "TeraSort", "standard sort of input data", "Micro Benchmarks", format!("records={}", r.result));
+    add(
+        "HiBench",
+        "TeraSort",
+        "standard sort of input data",
+        "Micro Benchmarks",
+        format!("records={}", r.result),
+    );
     let r = sys.run(&spec, cluster(), move |sc| nweight_app(sc, nw));
     add("HiBench", "NWeight", "n-hop vertex associations", "Graph", format!("pairs={}", r.result));
     let r = sys.run(&spec, cluster(), move |sc| group_by_app(sc, ohb));

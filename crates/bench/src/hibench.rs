@@ -78,7 +78,7 @@ impl HiBenchParams {
             iterations,
             agg_partitions: (partitions / 8).max(2),
             pad_bytes: (u64::from(pad_bytes) / self.shrink).max(64) as u32,
-            seed: 0xF16_12,
+            seed: 0xF1612,
         }
     }
 }

@@ -58,13 +58,32 @@ pub fn run_cell_on(
     cores: u32,
     gb_per_worker: u64,
 ) -> OhbCell {
+    run_cell_routed(spec, system, bench, workers, cores, gb_per_worker, None)
+}
+
+/// [`run_cell_on`] with a body-routing policy override for the MPI systems
+/// (§VI-E ablations; `None` keeps the design default).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_routed(
+    spec: &ClusterSpec,
+    system: System,
+    bench: OhbBench,
+    workers: usize,
+    cores: u32,
+    gb_per_worker: u64,
+    route: Option<netz::RoutePolicy>,
+) -> OhbCell {
     let conf = SparkConf::paper_defaults(cores);
     let cluster = ClusterConfig::paper_layout(spec.len(), conf);
     assert_eq!(cluster.worker_nodes.len(), workers);
     let cfg = OhbConfig::paper(workers, cores, gb_per_worker);
     let outcome = match bench {
-        OhbBench::GroupBy => system.run(spec, cluster, move |sc| group_by_app(sc, cfg)),
-        OhbBench::SortBy => system.run(spec, cluster, move |sc| sort_by_app(sc, cfg)),
+        OhbBench::GroupBy => {
+            system.run_with_route(spec, cluster, route, move |sc| group_by_app(sc, cfg))
+        }
+        OhbBench::SortBy => {
+            system.run_with_route(spec, cluster, route, move |sc| sort_by_app(sc, cfg))
+        }
     };
     let breakdown = StageBreakdown::from_jobs(&outcome.jobs);
     OhbCell { breakdown, total_ns: outcome.total_ns(), check: outcome.result }

@@ -12,9 +12,7 @@ use std::sync::Arc;
 use fabric::{ClusterSpec, Net, Payload};
 use mpi4spark::transport::MpiTransportBasic;
 use mpi4spark::MpiProcCtx;
-use netz::{
-    ChannelCore, RpcHandler, StreamManager, TransportConf, TransportContext,
-};
+use netz::{ChannelCore, RpcHandler, StreamManager, TransportConf, TransportContext};
 use simt::sync::OnceCell;
 use simt::Sim;
 
@@ -120,8 +118,9 @@ pub fn run_pingpong(transport: PingPongTransport, size: u64, iters: u32) -> u64 
                                 Arc::new(MpiTransportBasic::new(ctx)),
                             )
                             .create_client_endpoint("pp-client", 1);
-                            let client =
-                                ep.connect(fabric::PortAddr { node: 0, port: 500 }).expect("connect");
+                            let client = ep
+                                .connect(fabric::PortAddr { node: 0, port: 500 })
+                                .expect("connect");
                             result.put(measure(&client, size, iters));
                             done.put(());
                         }),

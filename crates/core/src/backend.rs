@@ -3,9 +3,8 @@
 
 use std::sync::Arc;
 
-use fabric::Net;
-use netz::{RpcHandler, TransportConf, TransportContext};
-use sparklet::net_backend::{NetworkBackend, ProcIdentity};
+use netz::{RoutePolicy, TransportConf};
+use sparklet::net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity};
 
 use crate::ctx::MpiProcCtx;
 use crate::transport::{BasicTuning, MpiTransportBasic, MpiTransportOptimized};
@@ -19,6 +18,16 @@ pub enum Design {
     Optimized,
 }
 
+impl Design {
+    /// The design's default body-routing policy (§VI-D vs §VI-E).
+    pub fn default_route_policy(self) -> RoutePolicy {
+        match self {
+            Design::Basic => RoutePolicy::ALL_MESSAGES,
+            Design::Optimized => RoutePolicy::SHUFFLE_BODIES,
+        }
+    }
+}
+
 /// MPI4Spark's backend. Both planes (control RPC and shuffle) run the MPI
 /// transport — the paper modifies Netty itself, under all of Spark's
 /// messaging.
@@ -26,16 +35,18 @@ pub struct MpiBackend {
     design: Design,
     conf: TransportConf,
     basic_tuning: BasicTuning,
+    route: RoutePolicy,
 }
 
 impl MpiBackend {
     /// Backend for `design` with default socket conf for the establishment
-    /// path.
+    /// path and the design's default routing policy.
     pub fn new(design: Design) -> Self {
         MpiBackend {
             design,
             conf: TransportConf::default_sockets(),
             basic_tuning: BasicTuning::default(),
+            route: design.default_route_policy(),
         }
     }
 
@@ -45,33 +56,31 @@ impl MpiBackend {
         self
     }
 
+    /// Override the body-routing policy (§VI-E ablations: e.g. route every
+    /// body, or only chunk bodies, without touching transport code).
+    pub fn with_route_policy(mut self, route: RoutePolicy) -> Self {
+        self.route = route;
+        self
+    }
+
     /// The selected design.
     pub fn design(&self) -> Design {
         self.design
     }
 
-    fn make_context(
-        &self,
-        identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        let ctx = identity
-            .ext
-            .clone()
-            .and_then(|e| e.downcast::<MpiProcCtx>().ok())
-            .unwrap_or_else(|| {
-                panic!(
-                    "process '{}' has no MpiProcCtx: MPI4Spark processes must be \
+    /// The active body-routing policy.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.route
+    }
+
+    fn mpi_ctx(&self, identity: &ProcIdentity) -> Arc<MpiProcCtx> {
+        identity.ext.clone().and_then(|e| e.downcast::<MpiProcCtx>().ok()).unwrap_or_else(|| {
+            panic!(
+                "process '{}' has no MpiProcCtx: MPI4Spark processes must be \
                      started by the mpi4spark launcher (paper §V)",
-                    identity.name
-                )
-            });
-        let transport: Arc<dyn netz::Transport> = match self.design {
-            Design::Optimized => Arc::new(MpiTransportOptimized::new(ctx)),
-            Design::Basic => Arc::new(MpiTransportBasic::with_tuning(ctx, self.basic_tuning)),
-        };
-        TransportContext::with_transport(net.clone(), self.conf, handler, transport)
+                identity.name
+            )
+        })
     }
 }
 
@@ -83,22 +92,17 @@ impl NetworkBackend for MpiBackend {
         }
     }
 
-    fn rpc_context(
-        &self,
-        identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        self.make_context(identity, net, handler)
-    }
-
-    fn shuffle_context(
-        &self,
-        identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        self.make_context(identity, net, handler)
+    fn plane(&self, _plane: Plane, identity: &ProcIdentity) -> PlaneDesc {
+        let ctx = self.mpi_ctx(identity);
+        let transport: Arc<dyn netz::Transport> = match self.design {
+            Design::Optimized => Arc::new(MpiTransportOptimized::with_policy(ctx, self.route)),
+            Design::Basic => Arc::new(MpiTransportBasic::with_tuning_and_policy(
+                ctx,
+                self.basic_tuning,
+                self.route,
+            )),
+        };
+        PlaneDesc { conf: self.conf, transport, route: self.route }
     }
 }
 
@@ -110,5 +114,13 @@ mod tests {
     fn backend_names_distinguish_designs() {
         assert_eq!(MpiBackend::new(Design::Optimized).name(), "mpi4spark");
         assert_eq!(MpiBackend::new(Design::Basic).name(), "mpi4spark-basic");
+    }
+
+    #[test]
+    fn designs_default_to_the_papers_routing() {
+        assert_eq!(MpiBackend::new(Design::Optimized).route_policy(), RoutePolicy::SHUFFLE_BODIES);
+        assert_eq!(MpiBackend::new(Design::Basic).route_policy(), RoutePolicy::ALL_MESSAGES);
+        let ablated = MpiBackend::new(Design::Optimized).with_route_policy(RoutePolicy::ALL_BODIES);
+        assert_eq!(ablated.route_policy(), RoutePolicy::ALL_BODIES);
     }
 }

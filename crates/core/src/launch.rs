@@ -18,9 +18,7 @@ use parking_lot::Mutex;
 use rmpi::{mpiexec_with, Comm, SpawnSpec};
 use simt::queue::Queue;
 use simt::sync::OnceCell;
-use sparklet::deploy::{
-    self, master, worker, ClusterConfig, ExecutorLauncher, ExecutorMain,
-};
+use sparklet::deploy::{self, master, worker, ClusterConfig, ExecutorLauncher, ExecutorMain};
 use sparklet::net_backend::NetworkBackend;
 use sparklet::scheduler::JobMetrics;
 

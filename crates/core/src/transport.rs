@@ -21,8 +21,8 @@ use std::sync::{Arc, OnceLock};
 
 use fabric::Payload;
 use netz::{
-    ChannelCore, ChannelId, Endpoint, Frame, Handshake, InboundAction, InboundHandler,
-    Message, OutboundAction, OutboundHandler, Transport, WireEvent,
+    ChannelCore, ChannelId, Endpoint, Frame, Handshake, InboundAction, InboundHandler, Message,
+    OutboundAction, OutboundHandler, RoutePolicy, Transport, WireEvent,
 };
 use parking_lot::Mutex;
 
@@ -33,8 +33,28 @@ const OPT_TAG_BASE: u64 = 1 << 47;
 /// Tag for all Basic-design messages (demultiplexed by channel id inside).
 const BASIC_TAG: u64 = 1 << 46;
 
+/// Bits of the tag reserved for the per-channel body sequence number.
+const OPT_SEQ_BITS: u32 = 20;
+/// Bits of the tag reserved for the channel id.
+const OPT_CHAN_BITS: u32 = 27;
+
+/// Tag for the `n`-th Optimized-design body on channel `chan`.
+///
+/// The sequence field wraps at 2^20 by design: sender and receiver advance
+/// their per-channel counters in lockstep (headers travel in-order on the
+/// socket), so a wrapped tag could only be confused with a body 2^20 sends
+/// older on the same channel — long since matched. Channel ids, however,
+/// are truncated, and two channels whose ids collide modulo 2^27 would
+/// cross-match each other's bodies; channel ids are allocated sequentially
+/// per process so this asserts instead of wrapping.
 fn opt_tag(chan: ChannelId, n: u64) -> u64 {
-    OPT_TAG_BASE | ((chan.0 & 0x7FF_FFFF) << 20) | (n & 0xF_FFFF)
+    assert!(
+        chan.0 < (1 << OPT_CHAN_BITS),
+        "channel id {} overflows the {}-bit MPI tag field",
+        chan.0,
+        OPT_CHAN_BITS
+    );
+    OPT_TAG_BASE | (chan.0 << OPT_SEQ_BITS) | (n & ((1 << OPT_SEQ_BITS) - 1))
 }
 
 // =========================== Optimized design ===============================
@@ -42,12 +62,19 @@ fn opt_tag(chan: ChannelId, n: u64) -> u64 {
 /// The MPI4Spark-Optimized transport (§VI-E).
 pub struct MpiTransportOptimized {
     ctx: Arc<MpiProcCtx>,
+    policy: RoutePolicy,
 }
 
 impl MpiTransportOptimized {
-    /// Transport for the process described by `ctx`.
+    /// Transport for the process described by `ctx`, routing the paper's
+    /// default body set ([`RoutePolicy::SHUFFLE_BODIES`]).
     pub fn new(ctx: Arc<MpiProcCtx>) -> Self {
-        MpiTransportOptimized { ctx }
+        Self::with_policy(ctx, RoutePolicy::SHUFFLE_BODIES)
+    }
+
+    /// Transport with an explicit body-routing policy (§VI-E ablations).
+    pub fn with_policy(ctx: Arc<MpiProcCtx>, policy: RoutePolicy) -> Self {
+        MpiTransportOptimized { ctx, policy }
     }
 }
 
@@ -67,24 +94,34 @@ impl Transport for MpiTransportOptimized {
         let mut p = chan.pipeline.lock();
         p.add_outbound(
             "mpi-body-send",
-            Arc::new(OptOutbound { ctx: self.ctx.clone(), sent: AtomicU64::new(0) }),
+            Arc::new(OptOutbound {
+                ctx: self.ctx.clone(),
+                policy: self.policy,
+                sent: AtomicU64::new(0),
+            }),
         );
         p.add_inbound(
             "mpi-body-fetch",
-            Arc::new(OptInbound { ctx: self.ctx.clone(), received: AtomicU64::new(0) }),
+            Arc::new(OptInbound {
+                ctx: self.ctx.clone(),
+                policy: self.policy,
+                received: AtomicU64::new(0),
+            }),
         );
     }
 }
 
-/// Outbound: divert eligible bodies to MPI, keep the header on the socket.
+/// Outbound: divert policy-routed bodies to MPI, keep the header on the
+/// socket.
 struct OptOutbound {
     ctx: Arc<MpiProcCtx>,
+    policy: RoutePolicy,
     sent: AtomicU64,
 }
 
 impl OutboundHandler for OptOutbound {
     fn on_write(&self, chan: &Arc<ChannelCore>, msg: Message) -> OutboundAction {
-        if !msg.is_mpi_eligible_body() {
+        if !self.policy.routes_body(&msg) {
             return OutboundAction::Forward(msg);
         }
         let peer = chan.peer_handshake;
@@ -107,20 +144,20 @@ impl OutboundHandler for OptOutbound {
     }
 }
 
-/// Inbound: parse the header; for eligible types post the matching
+/// Inbound: parse the header; for policy-routed types post the matching
 /// `MPI_Recv` and reattach the body.
 struct OptInbound {
     ctx: Arc<MpiProcCtx>,
+    policy: RoutePolicy,
     received: AtomicU64,
 }
 
 impl InboundHandler for OptInbound {
     fn on_frame(&self, chan: &Arc<ChannelCore>, frame: Frame) -> InboundAction {
-        let eligible = matches!(
-            Message::peek_type(&frame.header),
-            Some(netz::message::MessageType::ChunkFetchSuccess)
-                | Some(netz::message::MessageType::StreamResponse)
-        );
+        // Mirror of the outbound predicate: a routed, body-carrying type
+        // arriving as a header-only frame means the body is waiting on MPI.
+        let eligible = Message::peek_type(&frame.header)
+            .is_some_and(|ty| self.policy.routes_type(ty) && ty.carries_body());
         if !eligible || !frame.body.is_empty() {
             return InboundAction::Forward(frame);
         }
@@ -213,14 +250,20 @@ impl BasicRouter {
         let router = self.clone();
         let tuning = *self.tuning.lock();
         simt::spawn_daemon(format!("mpi-basic-rx:{label}:r{}", comm.rank()), move || loop {
-            let Ok((payload, _status)) = comm.recv(None, Some(BASIC_TAG)) else { break };
-            let Some(msg) = payload.value_as::<BasicMsg>() else { continue };
+            let Ok((payload, _status)) = comm.recv(None, Some(BASIC_TAG)) else {
+                break;
+            };
+            let Some(msg) = payload.value_as::<BasicMsg>() else {
+                continue;
+            };
             // Model the polling selector: the message sat for half a poll
             // interval and cost iprobe sweeps to discover (§VI-D).
             simt::sleep(tuning.poll_latency_ns);
             comm.universe().net().cpu(comm.node()).execute(tuning.per_message_poll_ns);
             let target = router.channels.lock().get(&msg.channel).cloned();
-            let Some((endpoint, chan)) = target else { continue };
+            let Some((endpoint, chan)) = target else {
+                continue;
+            };
             match Message::decode(&msg.header, msg.body.clone()) {
                 Ok(decoded) => endpoint.dispatch(&chan, decoded),
                 Err(_) => continue,
@@ -234,17 +277,29 @@ pub struct MpiTransportBasic {
     ctx: Arc<MpiProcCtx>,
     endpoint: OnceLock<Endpoint>,
     tuning: BasicTuning,
+    policy: RoutePolicy,
 }
 
 impl MpiTransportBasic {
-    /// Transport for the process described by `ctx`.
+    /// Transport for the process described by `ctx`: every message type
+    /// crosses MPI ([`RoutePolicy::ALL_MESSAGES`], §VI-D).
     pub fn new(ctx: Arc<MpiProcCtx>) -> Self {
         Self::with_tuning(ctx, BasicTuning::default())
     }
 
     /// Transport with explicit polling-model tunables (ablation benches).
     pub fn with_tuning(ctx: Arc<MpiProcCtx>, tuning: BasicTuning) -> Self {
-        MpiTransportBasic { ctx, endpoint: OnceLock::new(), tuning }
+        Self::with_tuning_and_policy(ctx, tuning, RoutePolicy::ALL_MESSAGES)
+    }
+
+    /// Transport with explicit tunables and routing policy; messages of
+    /// unrouted types stay on the socket path.
+    pub fn with_tuning_and_policy(
+        ctx: Arc<MpiProcCtx>,
+        tuning: BasicTuning,
+        policy: RoutePolicy,
+    ) -> Self {
+        MpiTransportBasic { ctx, endpoint: OnceLock::new(), tuning, policy }
     }
 }
 
@@ -262,10 +317,7 @@ impl Transport for MpiTransportBasic {
         *self.ctx.basic_router().tuning.lock() = self.tuning;
         // The endpoint's selector loop now spins (non-blocking select +
         // iprobe) instead of blocking: continuous background CPU load.
-        endpoint
-            .net()
-            .cpu(endpoint.node())
-            .add_background_load(self.tuning.poll_load_per_endpoint);
+        endpoint.net().cpu(endpoint.node()).add_background_load(self.tuning.poll_load_per_endpoint);
     }
 
     fn configure(&self, chan: &Arc<ChannelCore>) {
@@ -276,19 +328,25 @@ impl Transport for MpiTransportBasic {
         let endpoint = self.endpoint.get().expect("transport started").clone();
         router.register(chan, endpoint);
         router.ensure_receivers(&self.ctx);
-        chan.pipeline
-            .lock()
-            .add_outbound("mpi-all-send", Arc::new(BasicOutbound { ctx: self.ctx.clone() }));
+        chan.pipeline.lock().add_outbound(
+            "mpi-all-send",
+            Arc::new(BasicOutbound { ctx: self.ctx.clone(), policy: self.policy }),
+        );
     }
 }
 
-/// Outbound: every message crosses MPI as one `(header, body)` envelope.
+/// Outbound: every routed message crosses MPI as one `(header, body)`
+/// envelope (the default policy routes all of them).
 struct BasicOutbound {
     ctx: Arc<MpiProcCtx>,
+    policy: RoutePolicy,
 }
 
 impl OutboundHandler for BasicOutbound {
     fn on_write(&self, chan: &Arc<ChannelCore>, msg: Message) -> OutboundAction {
+        if !self.policy.routes_type(msg.type_id()) {
+            return OutboundAction::Forward(msg);
+        }
         let peer = chan.peer_handshake;
         let Some(peer_rank) = peer.mpi_rank else {
             return OutboundAction::Forward(msg);
@@ -297,8 +355,12 @@ impl OutboundHandler for BasicOutbound {
         let body = msg.body().cloned().unwrap_or_else(Payload::empty);
         let total = header.len() as u64 + body.virtual_len;
         let (comm, dest) = self.ctx.route(peer_rank, peer.comm);
-        comm.send(dest, BASIC_TAG, Payload::control(BasicMsg { channel: chan.id, header, body }, total))
-            .expect("MPI send");
+        comm.send(
+            dest,
+            BASIC_TAG,
+            Payload::control(BasicMsg { channel: chan.id, header, body }, total),
+        )
+        .expect("MPI send");
         OutboundAction::Sent { virtual_bytes: total }
     }
 }
@@ -315,6 +377,26 @@ mod tests {
         assert!(a != b && a != c && b != c);
         assert!(a & OPT_TAG_BASE != 0);
         assert_eq!(a & BASIC_TAG, 0);
+    }
+
+    #[test]
+    fn opt_tag_sequence_wraps_in_lockstep() {
+        // Sequence numbers wrap at 2^20: the tag repeats but never collides
+        // with another channel's tags.
+        let wrapped = opt_tag(ChannelId(3), 1 << OPT_SEQ_BITS);
+        assert_eq!(wrapped, opt_tag(ChannelId(3), 0));
+        assert_ne!(wrapped, opt_tag(ChannelId(4), 0));
+        // Largest valid channel id keeps the opt marker and can never be
+        // mistaken for the Basic design's tag.
+        let top = opt_tag(ChannelId((1 << OPT_CHAN_BITS) - 1), (1 << OPT_SEQ_BITS) - 1);
+        assert!(top & OPT_TAG_BASE != 0);
+        assert_ne!(top, BASIC_TAG);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 27-bit MPI tag field")]
+    fn opt_tag_rejects_channel_id_overflow() {
+        let _ = opt_tag(ChannelId(1 << OPT_CHAN_BITS), 0);
     }
 
     #[test]

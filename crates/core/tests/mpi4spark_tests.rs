@@ -97,8 +97,7 @@ fn optimized_shuffle_read_is_faster_than_vanilla() {
     // The paper's core claim at micro scale: identical workload, identical
     // cluster, shuffle-read stage markedly faster under MPI4Spark.
     fn workload(sc: &sparklet::scheduler::SparkContext) -> u64 {
-        let pairs: Vec<(u64, Blob)> =
-            (0..120u64).map(|i| (i, Blob::new(i, 1 << 18))).collect(); // 32 MB total
+        let pairs: Vec<(u64, Blob)> = (0..120u64).map(|i| (i, Blob::new(i, 1 << 18))).collect(); // 32 MB total
         sc.parallelize(pairs, 6).group_by_key(6).count()
     }
 

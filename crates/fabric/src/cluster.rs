@@ -65,9 +65,8 @@ impl ClusterSpec {
         interconnect: Interconnect,
     ) -> Self {
         let name = name.into();
-        let nodes = (0..n)
-            .map(|i| NodeSpec { name: format!("{name}-{i:02}"), ..proto.clone() })
-            .collect();
+        let nodes =
+            (0..n).map(|i| NodeSpec { name: format!("{name}-{i:02}"), ..proto.clone() }).collect();
         ClusterSpec { name, nodes, interconnect }
     }
 

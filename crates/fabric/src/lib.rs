@@ -24,6 +24,6 @@ pub mod net;
 pub mod payload;
 
 pub use cluster::{ClusterSpec, NodeId, NodeSpec};
-pub use model::{Interconnect, StackModel, Wire};
+pub use model::{FabricKind, Interconnect, StackModel, Wire};
 pub use net::{Net, Packet, PortAddr};
 pub use payload::Payload;

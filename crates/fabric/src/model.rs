@@ -28,11 +28,26 @@ pub struct Wire {
     pub bandwidth_bpns: f64,
 }
 
+/// Interconnect technology family. Systems gate on this rather than
+/// pattern-matching preset names (RDMA-Spark's verbs path exists only on
+/// InfiniBand; Omni-Path clusters like Stampede2 must be rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricKind {
+    /// InfiniBand (HDR, EDR, ...): native verbs available.
+    InfiniBand,
+    /// Intel Omni-Path: PSM2-based, no InfiniBand verbs.
+    OmniPath,
+    /// Plain Ethernet.
+    Ethernet,
+}
+
 /// A named interconnect preset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Interconnect {
     /// Name as reported in the paper's Table III.
     pub name: &'static str,
+    /// Technology family the preset belongs to.
+    pub kind: FabricKind,
     /// Wire characteristics.
     pub wire: Wire,
 }
@@ -41,18 +56,30 @@ impl Interconnect {
     /// NVIDIA/Mellanox InfiniBand HDR-100 (TACC Frontera). 100 Gbps =
     /// 12.5 GB/s; ~1 µs switch+propagation latency.
     pub fn ib_hdr100() -> Self {
-        Interconnect { name: "IB-HDR (100G)", wire: Wire { latency_ns: 1_000, bandwidth_bpns: 12.5 } }
+        Interconnect {
+            name: "IB-HDR (100G)",
+            kind: FabricKind::InfiniBand,
+            wire: Wire { latency_ns: 1_000, bandwidth_bpns: 12.5 },
+        }
     }
 
     /// Intel Omni-Path 100 (TACC Stampede2). Same line rate; slightly higher
     /// small-message latency than IB in practice.
     pub fn omni_path100() -> Self {
-        Interconnect { name: "OPA (100G)", wire: Wire { latency_ns: 1_200, bandwidth_bpns: 12.5 } }
+        Interconnect {
+            name: "OPA (100G)",
+            kind: FabricKind::OmniPath,
+            wire: Wire { latency_ns: 1_200, bandwidth_bpns: 12.5 },
+        }
     }
 
     /// InfiniBand EDR-100 (OSU internal cluster).
     pub fn ib_edr100() -> Self {
-        Interconnect { name: "IB-EDR (100G)", wire: Wire { latency_ns: 1_000, bandwidth_bpns: 12.5 } }
+        Interconnect {
+            name: "IB-EDR (100G)",
+            kind: FabricKind::InfiniBand,
+            wire: Wire { latency_ns: 1_000, bandwidth_bpns: 12.5 },
+        }
     }
 }
 
@@ -172,7 +199,8 @@ mod tests {
 
     #[test]
     fn wire_presets_are_100g() {
-        for ic in [Interconnect::ib_hdr100(), Interconnect::omni_path100(), Interconnect::ib_edr100()]
+        for ic in
+            [Interconnect::ib_hdr100(), Interconnect::omni_path100(), Interconnect::ib_edr100()]
         {
             assert!((ic.wire.bandwidth_bpns - 12.5).abs() < 1e-9, "{}", ic.name);
         }

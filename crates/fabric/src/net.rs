@@ -218,7 +218,13 @@ impl Net {
     /// and schedules delivery. Same-node messages use the loopback model and
     /// skip the NIC entirely. Returns the scheduled delivery time; messages
     /// to unbound ports are dropped at delivery time, like a TCP RST.
-    pub fn send(&self, stack: &StackModel, from_node: NodeId, to: PortAddr, payload: Payload) -> u64 {
+    pub fn send(
+        &self,
+        stack: &StackModel,
+        from_node: NodeId,
+        to: PortAddr,
+        payload: Payload,
+    ) -> u64 {
         let n = payload.virtual_len;
         let loopback = StackModel::loopback();
         let eff_stack = if from_node == to.node { &loopback } else { stack };
@@ -246,7 +252,12 @@ impl Net {
                 Some(q) => {
                     inner.stats.delivered_msgs.fetch_add(1, Ordering::Relaxed);
                     inner.stats.delivered_bytes.fetch_add(n, Ordering::Relaxed);
-                    q.send(Packet { src_node: from_node, payload, recv_cpu_ns, delivered_at: deliver_at });
+                    q.send(Packet {
+                        src_node: from_node,
+                        payload,
+                        recv_cpu_ns,
+                        delivered_at: deliver_at,
+                    });
                 }
                 None => {
                     inner.stats.dropped_msgs.fetch_add(1, Ordering::Relaxed);
@@ -334,7 +345,12 @@ mod tests {
         let net2 = net.clone();
         sim.spawn("tx", move || {
             let stack = StackModel::native_mpi();
-            net2.send(&stack, 0, PortAddr { node: 1, port: 7 }, Payload::bytes(Bytes::from_static(b"hi")));
+            net2.send(
+                &stack,
+                0,
+                PortAddr { node: 1, port: 7 },
+                Payload::bytes(Bytes::from_static(b"hi")),
+            );
         });
         sim.spawn("rx", move || {
             let pkt = rx.recv().unwrap();
@@ -394,8 +410,8 @@ mod tests {
         sim.spawn("rx", move || {
             let a = rx.recv().unwrap();
             let b = rx.recv().unwrap();
-            let tx_time = StackModel::native_mpi()
-                .tx_time_ns(one_mb, &Interconnect::ib_hdr100().wire);
+            let tx_time =
+                StackModel::native_mpi().tx_time_ns(one_mb, &Interconnect::ib_hdr100().wire);
             let gap = b.delivered_at - a.delivered_at;
             // Second delivery waits a full serialization window.
             assert!(gap + 1_000 >= tx_time, "gap={gap} tx={tx_time}");
@@ -554,10 +570,7 @@ mod tests {
                 .tx_time_ns(sz, &crate::model::Interconnect::ib_hdr100().wire)
                 * n;
             let now = simt::now();
-            assert!(
-                now < expect * 13 / 10,
-                "utilization hole: {now} vs ideal {expect}"
-            );
+            assert!(now < expect * 13 / 10, "utilization hole: {now} vs ideal {expect}");
         });
         sim.run().unwrap().assert_clean();
     }

@@ -3,6 +3,12 @@
 //! Netty's `ByteBuf` tracks independent reader/writer indices over pooled
 //! memory; here a thin cursor over `bytes::BytesMut`/`Bytes` suffices — the
 //! codec only ever appends on write and scans forward on read.
+//!
+//! [`ByteReader`] owns a [`Bytes`] handle so that [`ByteReader::get_bytes`]
+//! can hand out sub-ranges that *share* the original allocation (Netty's
+//! `ByteBuf.retainedSlice`): decoding a shuffle chunk into blocks never
+//! copies the block payloads, it only bumps the refcount on the one buffer
+//! that arrived from the wire.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -70,20 +76,22 @@ impl ByteWriter {
     }
 }
 
-/// Forward-scanning decoder. All methods return `None` on underrun rather
-/// than panicking, so malformed frames surface as codec errors.
-pub struct ByteReader<'a> {
-    data: &'a [u8],
+/// Forward-scanning decoder over an owned [`Bytes`] handle. All methods
+/// return `None` on underrun rather than panicking, so malformed frames
+/// surface as codec errors.
+pub struct ByteReader {
+    data: Bytes,
     pos: usize,
 }
 
-impl<'a> ByteReader<'a> {
-    /// Read from the start of `data`.
-    pub fn new(data: &'a [u8]) -> Self {
+impl ByteReader {
+    /// Read from the start of `data`. `Bytes::clone` is a refcount bump, so
+    /// callers holding a `&Bytes` pass `data.clone()` without copying.
+    pub fn new(data: Bytes) -> Self {
         ByteReader { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
         if self.pos + n > self.data.len() {
             return None;
         }
@@ -112,6 +120,24 @@ impl<'a> ByteReader<'a> {
         self.take(8).map(|s| i64::from_be_bytes(s.try_into().unwrap()))
     }
 
+    /// Read `len` raw bytes as a *view* into the underlying buffer: the
+    /// returned `Bytes` shares the reader's allocation (no copy). Fails
+    /// without consuming on underrun.
+    pub fn get_bytes(&mut self, len: usize) -> Option<Bytes> {
+        if self.pos + len > self.data.len() {
+            return None;
+        }
+        let s = self.data.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Some(s)
+    }
+
+    /// Read `len` raw bytes as a borrowed slice (no copy, no refcount
+    /// traffic; for transient scans). Fails without consuming on underrun.
+    pub fn get_slice(&mut self, len: usize) -> Option<&[u8]> {
+        self.take(len)
+    }
+
     /// Read a length-prefixed UTF-8 string.
     pub fn get_string(&mut self) -> Option<String> {
         let len = self.get_u32()? as usize;
@@ -137,7 +163,7 @@ mod tests {
         w.put_u64(u64::MAX - 3);
         w.put_i64(-42);
         let b = w.freeze();
-        let mut r = ByteReader::new(&b);
+        let mut r = ByteReader::new(b);
         assert_eq!(r.get_u8(), Some(7));
         assert_eq!(r.get_u32(), Some(0xDEAD_BEEF));
         assert_eq!(r.get_u64(), Some(u64::MAX - 3));
@@ -152,7 +178,7 @@ mod tests {
         w.put_string("");
         w.put_string("ünïcödé");
         let b = w.freeze();
-        let mut r = ByteReader::new(&b);
+        let mut r = ByteReader::new(b);
         assert_eq!(r.get_string().as_deref(), Some("shuffle_0_1_2"));
         assert_eq!(r.get_string().as_deref(), Some(""));
         assert_eq!(r.get_string().as_deref(), Some("ünïcödé"));
@@ -161,7 +187,7 @@ mod tests {
     #[test]
     fn underrun_returns_none() {
         let b = Bytes::from_static(&[1, 2, 3]);
-        let mut r = ByteReader::new(&b);
+        let mut r = ByteReader::new(b);
         assert_eq!(r.get_u32(), None);
         // Failed read must not consume.
         assert_eq!(r.get_u8(), Some(1));
@@ -173,7 +199,35 @@ mod tests {
         w.put_u32(1_000_000); // claims a huge string
         w.put_slice(b"tiny");
         let b = w.freeze();
-        let mut r = ByteReader::new(&b);
+        let mut r = ByteReader::new(b);
         assert_eq!(r.get_string(), None);
+    }
+
+    #[test]
+    fn get_bytes_shares_the_underlying_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAA);
+        w.put_slice(b"payload-bytes");
+        let b = w.freeze();
+        let base = b.as_ptr() as usize;
+        let mut r = ByteReader::new(b);
+        assert_eq!(r.get_u8(), Some(0xAA));
+        let view = r.get_bytes(7).unwrap();
+        assert_eq!(&view[..], b"payload");
+        // Zero-copy: the view points into the same allocation, one byte in.
+        assert_eq!(view.as_ptr() as usize, base + 1);
+        assert_eq!(r.get_bytes(100), None);
+        // Failed read must not consume.
+        assert_eq!(r.get_bytes(6).unwrap(), Bytes::from_static(b"-bytes"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn get_slice_advances_without_copying() {
+        let b = Bytes::from_static(b"abcdef");
+        let mut r = ByteReader::new(b);
+        assert_eq!(r.get_slice(3), Some(&b"abc"[..]));
+        assert_eq!(r.get_slice(4), None);
+        assert_eq!(r.get_slice(3), Some(&b"def"[..]));
     }
 }

@@ -174,7 +174,12 @@ impl ChannelCore {
 
     /// Ship a raw wire event to the peer endpoint over the socket stack.
     pub fn send_event(&self, ev: WireEvent, virtual_len: u64) {
-        self.net.send(&self.stack, self.local_node, self.remote_port, Payload::control(ev, virtual_len));
+        self.net.send(
+            &self.stack,
+            self.local_node,
+            self.remote_port,
+            Payload::control(ev, virtual_len),
+        );
     }
 
     /// Register a callback for an RPC response.

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fabric::{Net, NodeId, Packet, PortAddr, Payload};
+use fabric::{Net, NodeId, Packet, Payload, PortAddr};
 use parking_lot::Mutex;
 use simt::sync::OnceCell;
 
@@ -119,7 +119,11 @@ impl Endpoint {
 
     /// Look up the channel whose *peer* presented MPI rank `rank` in
     /// communicator `comm` — the rank → channel mapping of paper §VI-B.
-    pub fn channel_by_rank(&self, rank: u32, comm: crate::wire::CommKind) -> Option<Arc<ChannelCore>> {
+    pub fn channel_by_rank(
+        &self,
+        rank: u32,
+        comm: crate::wire::CommKind,
+    ) -> Option<Arc<ChannelCore>> {
         self.inner
             .channels
             .lock()
@@ -341,11 +345,9 @@ impl Endpoint {
             Message::StreamRequest { stream_id } => {
                 let sm = self.inner.handler.stream_manager();
                 let reply = match sm.open_stream(&stream_id) {
-                    Ok(body) => Message::StreamResponse {
-                        stream_id,
-                        byte_count: body.virtual_len,
-                        body,
-                    },
+                    Ok(body) => {
+                        Message::StreamResponse { stream_id, byte_count: body.virtual_len, body }
+                    }
                     Err(error) => Message::StreamFailure { stream_id, error },
                 };
                 chan.write(reply);

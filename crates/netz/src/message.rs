@@ -118,6 +118,18 @@ pub enum MessageType {
 }
 
 impl MessageType {
+    /// True for the message types that carry a body payload.
+    pub fn carries_body(self) -> bool {
+        matches!(
+            self,
+            MessageType::RpcRequest
+                | MessageType::RpcResponse
+                | MessageType::OneWayMessage
+                | MessageType::ChunkFetchSuccess
+                | MessageType::StreamResponse
+        )
+    }
+
     fn from_u8(v: u8) -> Option<MessageType> {
         use MessageType::*;
         Some(match v {
@@ -152,12 +164,6 @@ impl Message {
             StreamResponse { .. } => MessageType::StreamResponse,
             StreamFailure { .. } => MessageType::StreamFailure,
         }
-    }
-
-    /// True for the message types whose bodies MPI4Spark-Optimized routes
-    /// over MPI (paper §VI-E): `ChunkFetchSuccess` and `StreamResponse`.
-    pub fn is_mpi_eligible_body(&self) -> bool {
-        matches!(self, Message::ChunkFetchSuccess { .. } | Message::StreamResponse { .. })
     }
 
     /// True for request-type messages (handled server-side).
@@ -247,7 +253,7 @@ impl Message {
     /// Decode a header produced by [`Message::encode_header`] and attach
     /// `body`.
     pub fn decode(header: &Bytes, body: Payload) -> Result<Message, NetzError> {
-        let mut r = ByteReader::new(header);
+        let mut r = ByteReader::new(header.clone());
         let _frame_len = r.get_u64().ok_or_else(|| NetzError::codec("truncated frame length"))?;
         let ty = r
             .get_u8()
@@ -255,12 +261,14 @@ impl Message {
             .ok_or_else(|| NetzError::codec("bad message type"))?;
         let err = |what: &str| NetzError::codec(format!("truncated {what}"));
         let msg = match ty {
-            MessageType::RpcRequest => {
-                Message::RpcRequest { request_id: r.get_u64().ok_or_else(|| err("request id"))?, body }
-            }
-            MessageType::RpcResponse => {
-                Message::RpcResponse { request_id: r.get_u64().ok_or_else(|| err("request id"))?, body }
-            }
+            MessageType::RpcRequest => Message::RpcRequest {
+                request_id: r.get_u64().ok_or_else(|| err("request id"))?,
+                body,
+            },
+            MessageType::RpcResponse => Message::RpcResponse {
+                request_id: r.get_u64().ok_or_else(|| err("request id"))?,
+                body,
+            },
             MessageType::RpcFailure => Message::RpcFailure {
                 request_id: r.get_u64().ok_or_else(|| err("request id"))?,
                 error: r.get_string().ok_or_else(|| err("error string"))?,
@@ -280,9 +288,9 @@ impl Message {
                 chunk_index: r.get_u32().ok_or_else(|| err("chunk index"))?,
                 error: r.get_string().ok_or_else(|| err("error string"))?,
             },
-            MessageType::StreamRequest => {
-                Message::StreamRequest { stream_id: r.get_string().ok_or_else(|| err("stream id"))? }
-            }
+            MessageType::StreamRequest => Message::StreamRequest {
+                stream_id: r.get_string().ok_or_else(|| err("stream id"))?,
+            },
             MessageType::StreamResponse => Message::StreamResponse {
                 stream_id: r.get_string().ok_or_else(|| err("stream id"))?,
                 byte_count: r.get_u64().ok_or_else(|| err("byte count"))?,
@@ -395,7 +403,7 @@ mod tests {
             body: Payload::bytes_scaled(Bytes::from_static(b"ab"), 1000),
         };
         let header = msg.encode_header();
-        let mut r = ByteReader::new(&header);
+        let mut r = ByteReader::new(header.clone());
         let frame_len = r.get_u64().unwrap();
         assert_eq!(frame_len, header.len() as u64 + 1000);
     }
@@ -410,18 +418,6 @@ mod tests {
         let header = msg.encode_header();
         assert_eq!(Message::peek_type(&header), Some(MessageType::ChunkFetchSuccess));
         assert_eq!(Message::peek_body_len(&header), Some(777));
-    }
-
-    #[test]
-    fn mpi_eligibility_matches_paper_section_vi_e() {
-        let cfs = Message::ChunkFetchSuccess { stream_id: 0, chunk_index: 0, body: Payload::empty() };
-        let sr = Message::StreamResponse { stream_id: "s".into(), byte_count: 0, body: Payload::empty() };
-        let req = Message::ChunkFetchRequest { stream_id: 0, chunk_index: 0 };
-        let rpc = Message::RpcRequest { request_id: 0, body: Payload::empty() };
-        assert!(cfs.is_mpi_eligible_body());
-        assert!(sr.is_mpi_eligible_body());
-        assert!(!req.is_mpi_eligible_body());
-        assert!(!rpc.is_mpi_eligible_body());
     }
 
     #[test]

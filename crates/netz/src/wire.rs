@@ -7,7 +7,7 @@
 //! exchanges the MPI rank plus a communicator-type byte during it (§VI-B).
 
 use bytes::Bytes;
-use fabric::{PortAddr, Payload};
+use fabric::{Payload, PortAddr};
 
 use crate::channel::ChannelId;
 

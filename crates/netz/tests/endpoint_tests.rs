@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use fabric::{ClusterSpec, Net, Payload};
-use netz::{
-    NetzError, NoOpRpcHandler, RpcHandler, StreamManager, TransportConf, TransportContext,
-};
+use netz::{NetzError, NoOpRpcHandler, RpcHandler, StreamManager, TransportConf, TransportContext};
 use parking_lot::Mutex;
 use simt::Sim;
 

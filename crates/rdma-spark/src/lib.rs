@@ -11,22 +11,22 @@
 //!   runs over RDMA.
 //!
 //! The reproduction expresses exactly that split through sparklet's
-//! [`NetworkBackend`] seam: [`RdmaBackend::rpc_context`] uses the
-//! Java-sockets stack while [`RdmaBackend::shuffle_context`] uses the
+//! [`NetworkBackend`] seam: the backend's [`Plane::Rpc`] descriptor uses the
+//! Java-sockets stack while its [`Plane::Shuffle`] descriptor uses the
 //! calibrated RDMA-verbs stack (`fabric::StackModel::rdma_verbs`, ≈2.1 GB/s
 //! effective with ≈8 µs/message registration+completion overhead — the UCR
 //! figures the calibration note in `EXPERIMENTS.md` derives from the
 //! paper's measured ratios).
 //!
 //! RDMA-Spark is IB-only (paper Table I: no multi-interconnect support);
-//! [`RdmaBackend::new`] asserts the wire is InfiniBand, mirroring why the
+//! [`RdmaBackend::new`] checks [`fabric::FabricKind`], mirroring why the
 //! paper has no RDMA-Spark numbers on Stampede2's Omni-Path.
 
 use std::sync::Arc;
 
-use fabric::{Net, StackModel};
-use netz::{NioTransport, RpcHandler, TransportConf, TransportContext};
-use sparklet::net_backend::{NetworkBackend, ProcIdentity};
+use fabric::{FabricKind, StackModel};
+use netz::{NioTransport, RoutePolicy, TransportConf};
+use sparklet::net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity};
 
 /// The RDMA-Spark network backend.
 pub struct RdmaBackend {
@@ -38,14 +38,16 @@ impl RdmaBackend {
     /// Backend for a cluster whose interconnect is InfiniBand.
     ///
     /// # Panics
-    /// When the interconnect is not InfiniBand (e.g. Omni-Path): RDMA-Spark
-    /// only supports IB, which is why the paper collected no RDMA numbers
-    /// on Stampede2 (§VII-D).
+    /// When the interconnect's [`FabricKind`] is not
+    /// [`FabricKind::InfiniBand`] (e.g. Omni-Path): RDMA-Spark only supports
+    /// IB, which is why the paper collected no RDMA numbers on Stampede2
+    /// (§VII-D).
     pub fn new(interconnect: &fabric::Interconnect) -> Self {
         assert!(
-            interconnect.name.contains("IB"),
-            "RDMA-Spark supports only InfiniBand interconnects (got {})",
-            interconnect.name
+            interconnect.kind == FabricKind::InfiniBand,
+            "RDMA-Spark supports only InfiniBand interconnects (got {} [{:?}])",
+            interconnect.name,
+            interconnect.kind
         );
         let rpc_conf = TransportConf::default_sockets();
         let shuffle_conf = TransportConf { stack: StackModel::rdma_verbs(), ..rpc_conf };
@@ -63,27 +65,24 @@ impl NetworkBackend for RdmaBackend {
         "rdma-spark"
     }
 
-    fn rpc_context(
-        &self,
-        _identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        TransportContext::with_transport(net.clone(), self.rpc_conf, handler, Arc::new(NioTransport))
-    }
-
-    fn shuffle_context(
-        &self,
-        _identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        TransportContext::with_transport(
-            net.clone(),
-            self.shuffle_conf,
-            handler,
-            Arc::new(NioTransport),
-        )
+    fn plane(&self, plane: Plane, _identity: &ProcIdentity) -> PlaneDesc {
+        match plane {
+            // Control plane: unmodified Netty-over-sockets, nothing diverted.
+            Plane::Rpc => PlaneDesc {
+                conf: self.rpc_conf,
+                transport: Arc::new(NioTransport),
+                route: RoutePolicy::NONE,
+            },
+            // Shuffle plane: the UCR transport exists to carry the same
+            // body set §VI-E routes (chunk and stream bodies); in this model
+            // the whole plane runs on the verbs stack, and the policy
+            // records which messages that plane is there for.
+            Plane::Shuffle => PlaneDesc {
+                conf: self.shuffle_conf,
+                transport: Arc::new(NioTransport),
+                route: RoutePolicy::SHUFFLE_BODIES,
+            },
+        }
     }
 }
 
@@ -91,12 +90,18 @@ impl NetworkBackend for RdmaBackend {
 mod tests {
     use super::*;
     use fabric::Interconnect;
+    use sparklet::net_backend::Role;
 
     #[test]
     fn planes_use_different_stacks() {
         let b = RdmaBackend::new(&Interconnect::ib_hdr100());
-        assert_eq!(b.rpc_conf.stack.name, "JavaSockets/IPoIB");
-        assert_eq!(b.shuffle_conf.stack.name, "RDMA/UCR");
+        let id = ProcIdentity::new(Role::Executor(0), 0, "executor-0");
+        let rpc = b.plane(Plane::Rpc, &id);
+        let shuffle = b.plane(Plane::Shuffle, &id);
+        assert_eq!(rpc.conf.stack.name, "JavaSockets/IPoIB");
+        assert_eq!(rpc.route, RoutePolicy::NONE);
+        assert_eq!(shuffle.conf.stack.name, "RDMA/UCR");
+        assert_eq!(shuffle.route, RoutePolicy::SHUFFLE_BODIES);
         assert_eq!(b.name(), "rdma-spark");
     }
 
@@ -110,5 +115,17 @@ mod tests {
     fn works_on_edr_and_hdr() {
         let _ = RdmaBackend::new(&Interconnect::ib_hdr100());
         let _ = RdmaBackend::new(&Interconnect::ib_edr100());
+    }
+
+    #[test]
+    fn fabric_kind_drives_the_rejection_not_the_preset_name() {
+        // A hypothetical IB preset whose display name lacks the "IB"
+        // substring must still be accepted: the structured kind decides.
+        let odd_name = Interconnect {
+            name: "ConnectX-6 fabric",
+            kind: FabricKind::InfiniBand,
+            wire: Interconnect::ib_hdr100().wire,
+        };
+        let _ = RdmaBackend::new(&odd_name);
     }
 }

@@ -40,10 +40,18 @@ impl Comm {
                 let _ = self.recv(Some(src), Some(coll_tag(OP_BARRIER_IN, seq)))?;
             }
             for dst in 1..size {
-                self.send(dst, coll_tag(OP_BARRIER_OUT, seq), fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES))?;
+                self.send(
+                    dst,
+                    coll_tag(OP_BARRIER_OUT, seq),
+                    fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES),
+                )?;
             }
         } else {
-            self.send(0, coll_tag(OP_BARRIER_IN, seq), fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES))?;
+            self.send(
+                0,
+                coll_tag(OP_BARRIER_IN, seq),
+                fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES),
+            )?;
             let _ = self.recv(Some(0), Some(coll_tag(OP_BARRIER_OUT, seq)))?;
         }
         Ok(())
@@ -89,7 +97,8 @@ impl Comm {
             out[root as usize] = Some(value);
             for src in 0..size {
                 if src != root {
-                    let (v, _st) = self.recv_value::<T>(Some(src), Some(coll_tag(OP_GATHER, seq)))?;
+                    let (v, _st) =
+                        self.recv_value::<T>(Some(src), Some(coll_tag(OP_GATHER, seq)))?;
                     out[src as usize] = Some((*v).clone());
                 }
             }

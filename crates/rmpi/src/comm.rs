@@ -181,7 +181,6 @@ impl Comm {
         *c += 1;
         v
     }
-
 }
 
 impl std::fmt::Debug for Comm {

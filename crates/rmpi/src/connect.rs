@@ -55,10 +55,8 @@ impl Comm {
             .ok_or_else(|| MpiError::SpawnFailed(format!("port '{name}' not open")))?;
         let req = q.recv().map_err(|_| MpiError::Finalized)?;
         let uni = self.universe().clone();
-        let inter = uni.register_comm(CommGroups::Inter {
-            a: vec![self.proc_id()],
-            b: vec![req.client],
-        });
+        let inter =
+            uni.register_comm(CommGroups::Inter { a: vec![self.proc_id()], b: vec![req.client] });
         req.reply.put(inter);
         Ok(Comm::new(uni, inter, self.proc_id()))
     }

@@ -30,7 +30,11 @@ pub struct SpawnSpec {
 
 impl SpawnSpec {
     /// Build a spec.
-    pub fn new(name: impl Into<String>, node: NodeId, entry: impl FnOnce(Comm) + Send + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        node: NodeId,
+        entry: impl FnOnce(Comm) + Send + 'static,
+    ) -> Self {
         SpawnSpec { name: name.into(), node, entry: Box::new(entry) }
     }
 }
@@ -57,17 +61,13 @@ impl Comm {
             }
             let uni = self.universe().clone();
             // Register children and their world.
-            let child_ids: Vec<ProcId> = specs
-                .iter()
-                .map(|s| uni.register_proc(&s.name, s.node))
-                .collect();
+            let child_ids: Vec<ProcId> =
+                specs.iter().map(|s| uni.register_proc(&s.name, s.node)).collect();
             let child_world = uni.register_comm(CommGroups::Intra(child_ids.clone()));
             // Intercomm: group A = this comm's members, group B = children.
             let parent_members = self.members();
-            let inter = uni.register_comm(CommGroups::Inter {
-                a: parent_members,
-                b: child_ids.clone(),
-            });
+            let inter =
+                uni.register_comm(CommGroups::Inter { a: parent_members, b: child_ids.clone() });
             // Record parentage before any child runs.
             {
                 let mut parents = uni.state.parents.lock();
@@ -170,7 +170,11 @@ impl Comm {
         let v = msg.payload.value_as::<T>().expect("typed receive matched another type");
         Ok((
             *v,
-            crate::types::Status { source: msg.src_rank, tag: msg.tag, len: msg.payload.virtual_len },
+            crate::types::Status {
+                source: msg.src_rank,
+                tag: msg.tag,
+                len: msg.payload.virtual_len,
+            },
         ))
     }
 }

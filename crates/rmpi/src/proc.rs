@@ -139,7 +139,11 @@ impl MsgStore {
             {
                 let mut s = self.state.lock();
                 if let Some(x) = s.msgs.iter().find(|x| m.matches(x)) {
-                    return Ok(Status { source: x.src_rank, tag: x.tag, len: x.payload.virtual_len });
+                    return Ok(Status {
+                        source: x.src_rank,
+                        tag: x.tag,
+                        len: x.payload.virtual_len,
+                    });
                 }
                 if s.closed {
                     return Err(MpiError::Finalized);
@@ -213,14 +217,9 @@ pub struct ProcState {
 pub fn spawn_pump(name: &str, rx: fabric::net::PortRx, store: MsgStore) {
     let label = format!("mpi-pump:{name}");
     simt::spawn_daemon(label, move || {
-        loop {
-            match rx.recv() {
-                Ok(pkt) => {
-                    if let Some(msg) = pkt.payload.value_as::<MpiMsg>() {
-                        store.push((*msg).clone());
-                    }
-                }
-                Err(_) => break,
+        while let Ok(pkt) = rx.recv() {
+            if let Some(msg) = pkt.payload.value_as::<MpiMsg>() {
+                store.push((*msg).clone());
             }
         }
         store.close();
@@ -286,9 +285,7 @@ impl CommInfo {
     /// The process a send to rank `r` targets, from `sender`'s perspective.
     pub fn resolve_dest(&self, sender: ProcId, r: u32) -> Result<ProcId, MpiError> {
         match &self.groups {
-            CommGroups::Intra(g) => {
-                g.get(r as usize).copied().ok_or(MpiError::InvalidRank(r))
-            }
+            CommGroups::Intra(g) => g.get(r as usize).copied().ok_or(MpiError::InvalidRank(r)),
             CommGroups::Inter { a, b } => {
                 // Sends address the remote group.
                 if a.contains(&sender) {

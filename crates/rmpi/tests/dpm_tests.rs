@@ -57,7 +57,9 @@ fn parent_and_child_communicate_over_intercomm() {
                 let (v, st) = parent.recv_value::<String>(Some(0), Some(9)).unwrap();
                 assert_eq!(*v, "hello child");
                 assert_eq!(st.source, 0);
-                parent.send_value(0, 10, format!("ack from child {}", child_world.rank()), 32).unwrap();
+                parent
+                    .send_value(0, 10, format!("ack from child {}", child_world.rank()), 32)
+                    .unwrap();
             })])
         } else {
             None
@@ -94,8 +96,9 @@ fn children_shuffle_over_child_world_dpm_comm() {
                     let mut acc = 0;
                     for src in 0..n {
                         if src != me {
-                            let (v, _) =
-                                dpm_comm.recv_value::<u32>(Some(src), Some(500 + u64::from(src))).unwrap();
+                            let (v, _) = dpm_comm
+                                .recv_value::<u32>(Some(src), Some(500 + u64::from(src)))
+                                .unwrap();
                             acc += *v;
                         }
                     }
@@ -151,10 +154,7 @@ fn merge_builds_combined_intracomm() {
     let mut v = merged_views.lock().clone();
     v.sort_unstable();
     // 2 parents (merged ranks 0,1) + 2 children (merged ranks 2,3), size 4.
-    assert_eq!(
-        v,
-        vec![("child", 2, 4), ("child", 3, 4), ("parent", 0, 4), ("parent", 1, 4)]
-    );
+    assert_eq!(v, vec![("child", 2, 4), ("child", 3, 4), ("parent", 0, 4), ("parent", 1, 4)]);
 }
 
 #[test]

@@ -201,12 +201,7 @@ impl Cpu {
             return;
         }
         let rate = Self::rate(s);
-        let min_rem = s
-            .jobs
-            .iter()
-            .flatten()
-            .map(|j| j.remaining)
-            .fold(f64::INFINITY, f64::min);
+        let min_rem = s.jobs.iter().flatten().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
         let dt = (min_rem / rate).ceil().max(1.0) as u64;
         let gen = s.gen;
         let at = now + dt;

@@ -306,10 +306,8 @@ impl Sim {
     /// Create a fresh simulation with the default green-thread stack size
     /// (overridable via the `SIMT_STACK` environment variable, in bytes).
     pub fn new() -> Self {
-        let stack_size = std::env::var("SIMT_STACK")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_STACK);
+        let stack_size =
+            std::env::var("SIMT_STACK").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_STACK);
         Sim {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -658,7 +656,7 @@ mod tests {
     #[test]
     fn non_daemon_blocked_is_reported() {
         let sim = Sim::new();
-        sim.spawn("stuck-guy", || park());
+        sim.spawn("stuck-guy", park);
         let r = sim.run().unwrap();
         assert_eq!(r.blocked, vec!["stuck-guy".to_string()]);
     }

@@ -26,19 +26,13 @@ impl BroadcastRegistry {
     /// Register a value; returns its broadcast id.
     pub fn register<T: Any + Send + Sync>(&self, value: Arc<T>, virtual_size: u64) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.values
-            .lock()
-            .insert(id, Payload::control_arc(value, virtual_size.max(8)));
+        self.values.lock().insert(id, Payload::control_arc(value, virtual_size.max(8)));
         id
     }
 
     /// Serve a broadcast stream (`/broadcast/{id}`).
     pub fn open(&self, id: u64) -> Result<Payload, String> {
-        self.values
-            .lock()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| format!("no broadcast with id {id}"))
+        self.values.lock().get(&id).cloned().ok_or_else(|| format!("no broadcast with id {id}"))
     }
 
     /// Drop a broadcast (Spark's `Broadcast.destroy`).
@@ -56,7 +50,11 @@ pub struct Broadcast<T: Any + Send + Sync> {
 
 impl<T: Any + Send + Sync> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast { id: self.id, virtual_size: self.virtual_size, _marker: std::marker::PhantomData }
+        Broadcast {
+            id: self.id,
+            virtual_size: self.virtual_size,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -189,9 +189,10 @@ pub fn encode_batch<T: Element>(items: &[T]) -> (bytes::Bytes, u64) {
     (w.freeze(), virt)
 }
 
-/// Decode a batch written by [`encode_batch`].
-pub fn decode_batch<T: Element>(data: &[u8]) -> Vec<T> {
-    let mut r = ByteReader::new(data);
+/// Decode a batch written by [`encode_batch`]. Takes the `Bytes` handle
+/// (cloned, not copied) so element decoders can slice out zero-copy views.
+pub fn decode_batch<T: Element>(data: &bytes::Bytes) -> Vec<T> {
+    let mut r = ByteReader::new(data.clone());
     let n = r.get_u32().expect("batch length") as usize;
     (0..n).map(|_| T::decode(&mut r)).collect()
 }

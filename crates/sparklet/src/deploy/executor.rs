@@ -12,7 +12,9 @@ use crate::config::SparkConf;
 use crate::deploy::messages::ExecutorSpec;
 use crate::net_backend::{NetworkBackend, ProcIdentity, Role};
 use crate::rpc::{AnyMsg, ReplyFn, RpcEndpoint, RpcEnv, RpcRef};
-use crate::scheduler::{InvalidateShuffle, LaunchTask, RegisterExecutor, StopExecutor, TaskFinishedMsg};
+use crate::scheduler::{
+    InvalidateShuffle, LaunchTask, RegisterExecutor, StopExecutor, TaskFinishedMsg,
+};
 use crate::shuffle::MapOutputClient;
 use crate::storage::BlockManager;
 use crate::task::{ExecutorServices, TaskContext};
@@ -64,15 +66,13 @@ impl RpcEndpoint for ExecutorEndpoint {
                     task.runner.run(&ctx)
                 })) {
                     Ok(out) => out,
-                    Err(payload) => {
-                        match payload.downcast::<crate::shuffle::FetchFailedSignal>() {
-                            Ok(sig) => crate::rdd::TaskOutput::FetchFailed {
-                                shuffle_id: sig.shuffle_id,
-                                exec_id: sig.exec_id,
-                            },
-                            Err(other) => std::panic::resume_unwind(other),
-                        }
-                    }
+                    Err(payload) => match payload.downcast::<crate::shuffle::FetchFailedSignal>() {
+                        Ok(sig) => crate::rdd::TaskOutput::FetchFailed {
+                            shuffle_id: sig.shuffle_id,
+                            exec_id: sig.exec_id,
+                        },
+                        Err(other) => std::panic::resume_unwind(other),
+                    },
                 };
                 let mut metrics = *ctx.metrics.lock();
                 metrics.run_ns = simt::now() - t0;

@@ -86,12 +86,8 @@ impl RpcEndpoint for MasterEndpoint {
 
 /// Master process body: serve registrations until stopped.
 pub fn master_main(args: MasterArgs) {
-    let identity = ProcIdentity {
-        role: Role::Master,
-        node: args.node,
-        name: "master".into(),
-        ext: args.ext,
-    };
+    let identity =
+        ProcIdentity { role: Role::Master, node: args.node, name: "master".into(), ext: args.ext };
     let env = RpcEnv::new(&args.net, &identity, &args.backend, Some(MASTER_PORT));
     let stop = Notify::new();
     let ep = Arc::new(MasterEndpoint {

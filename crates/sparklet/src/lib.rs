@@ -42,6 +42,6 @@ pub use broadcast::Broadcast;
 pub use config::{CostModel, SparkConf};
 pub use data::{Blob, Element};
 pub use deploy::{ClusterConfig, ExecutorLauncher, ProcessBuilderLauncher};
-pub use net_backend::{NetworkBackend, ProcIdentity, Role, VanillaBackend};
+pub use net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity, Role, VanillaBackend};
 pub use rdd::Rdd;
 pub use scheduler::{JobMetrics, StageMetrics};

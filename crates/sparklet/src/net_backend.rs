@@ -14,7 +14,7 @@ use std::any::Any;
 use std::sync::Arc;
 
 use fabric::{Net, NodeId};
-use netz::{NioTransport, RpcHandler, TransportConf, TransportContext};
+use netz::{NioTransport, RoutePolicy, RpcHandler, Transport, TransportConf, TransportContext};
 
 use crate::config::SparkConf;
 
@@ -52,10 +52,53 @@ impl ProcIdentity {
     }
 }
 
+/// The two networking planes every Spark process runs (paper §II-C): the
+/// control-plane RPC environment and the shuffle/block data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Plane {
+    /// Control-plane RPC environment (driver↔master↔workers↔executors).
+    Rpc,
+    /// Shuffle/block-transfer data plane between executors.
+    Shuffle,
+}
+
+/// A backend's declaration for one plane: the cost-model configuration, the
+/// transport that installs the plane's pipeline handlers, and the
+/// body-routing policy the transport applies (paper §VI-E). This is the one
+/// place a backend states what a plane runs on — `TransportContext`
+/// construction is derived from it instead of duplicated per backend.
+pub struct PlaneDesc {
+    /// Timeouts and cost stack for the plane.
+    pub conf: TransportConf,
+    /// Transport wiring the plane's channels.
+    pub transport: Arc<dyn Transport>,
+    /// Which message types the transport diverts out-of-band.
+    pub route: RoutePolicy,
+}
+
 /// Factory for each process's transport contexts.
+///
+/// Backends implement [`NetworkBackend::plane`] only; context construction
+/// is provided. This is the seam the three evaluated systems differ at —
+/// each declares per-plane stacks and routing in one method.
 pub trait NetworkBackend: Send + Sync + 'static {
     /// Name used in reports (`vanilla`, `rdma`, `mpi-optimized`, ...).
     fn name(&self) -> &'static str;
+
+    /// Declare `plane`'s stack for the process `identity`.
+    fn plane(&self, plane: Plane, identity: &ProcIdentity) -> PlaneDesc;
+
+    /// Build the transport context for `plane` from its descriptor.
+    fn context(
+        &self,
+        plane: Plane,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> TransportContext {
+        let desc = self.plane(plane, identity);
+        TransportContext::with_transport(net.clone(), desc.conf, handler, desc.transport)
+    }
 
     /// Transport context for the control-plane RPC environment.
     fn rpc_context(
@@ -63,7 +106,9 @@ pub trait NetworkBackend: Send + Sync + 'static {
         identity: &ProcIdentity,
         net: &Net,
         handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext;
+    ) -> TransportContext {
+        self.context(Plane::Rpc, identity, net, handler)
+    }
 
     /// Transport context for an executor's shuffle/block service plane.
     fn shuffle_context(
@@ -71,7 +116,9 @@ pub trait NetworkBackend: Send + Sync + 'static {
         identity: &ProcIdentity,
         net: &Net,
         handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext;
+    ) -> TransportContext {
+        self.context(Plane::Shuffle, identity, net, handler)
+    }
 }
 
 /// Vanilla Spark: Netty NIO over Java sockets on both planes.
@@ -100,22 +147,10 @@ impl NetworkBackend for VanillaBackend {
         "vanilla"
     }
 
-    fn rpc_context(
-        &self,
-        _identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        TransportContext::with_transport(net.clone(), self.conf, handler, Arc::new(NioTransport))
-    }
-
-    fn shuffle_context(
-        &self,
-        _identity: &ProcIdentity,
-        net: &Net,
-        handler: Arc<dyn RpcHandler>,
-    ) -> TransportContext {
-        TransportContext::with_transport(net.clone(), self.conf, handler, Arc::new(NioTransport))
+    fn plane(&self, _plane: Plane, _identity: &ProcIdentity) -> PlaneDesc {
+        // Same socket stack on both planes; header and body share the
+        // socket frame, so nothing is routed out-of-band.
+        PlaneDesc { conf: self.conf, transport: Arc::new(NioTransport), route: RoutePolicy::NONE }
     }
 }
 
@@ -127,7 +162,12 @@ mod tests {
     fn vanilla_uses_socket_stack_on_both_planes() {
         let backend = VanillaBackend::default();
         assert_eq!(backend.name(), "vanilla");
-        assert_eq!(backend.conf.stack.name, "JavaSockets/IPoIB");
+        let id = ProcIdentity::new(Role::Driver, 0, "driver");
+        for plane in [Plane::Rpc, Plane::Shuffle] {
+            let desc = backend.plane(plane, &id);
+            assert_eq!(desc.conf.stack.name, "JavaSockets/IPoIB");
+            assert_eq!(desc.route, RoutePolicy::NONE);
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ pub struct AppCore {
 
 impl AppCore {
     /// New application state.
-    pub fn new(conf: SparkConf, default_parallelism: usize, runner: Arc<dyn JobRunner>) -> Arc<Self> {
+    pub fn new(
+        conf: SparkConf,
+        default_parallelism: usize,
+        runner: Arc<dyn JobRunner>,
+    ) -> Arc<Self> {
         Arc::new(AppCore {
             conf,
             default_parallelism,
@@ -187,10 +191,7 @@ impl<T: Element> Rdd<T> {
     }
 
     /// Element-wise one-to-many transformation.
-    pub fn flat_map<U: Element>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Element>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         let f = Arc::new(f);
         self.map_partitions(move |ctx: &TaskContext, v: Vec<T>| {
             let n = v.len() as u64;
@@ -286,11 +287,7 @@ impl<T: Element> Rdd<T> {
             result_tasks,
             action: action.to_string(),
         };
-        self.core
-            .run(job)
-            .into_iter()
-            .map(|r| r.downcast::<R>().expect("result type"))
-            .collect()
+        self.core.run(job).into_iter().map(|r| r.downcast::<R>().expect("result type")).collect()
     }
 
     /// Number of records.
@@ -310,9 +307,8 @@ impl<T: Element> Rdd<T> {
     pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> Option<T> {
         let f = Arc::new(f);
         let f2 = f.clone();
-        let partials = self.run_partitions("reduce", move |_ctx, v| {
-            v.into_iter().reduce(|a, b| f2(a, b))
-        });
+        let partials =
+            self.run_partitions("reduce", move |_ctx, v| v.into_iter().reduce(|a, b| f2(a, b)));
         partials.into_iter().filter_map(|p| p.as_ref().clone()).reduce(|a, b| f(a, b))
     }
 
@@ -402,7 +398,12 @@ where
     /// Repartition by key with an explicit partitioner; records pass
     /// through unchanged.
     pub fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, V)> {
-        self.shuffle_to::<V, (K, V)>(self.ops.clone(), partitioner, None, Arc::new(|_ctx, pairs| pairs))
+        self.shuffle_to::<V, (K, V)>(
+            self.ops.clone(),
+            partitioner,
+            None,
+            Arc::new(|_ctx, pairs| pairs),
+        )
     }
 
     /// Co-group with another pair RDD sharing the key type.
@@ -484,9 +485,7 @@ where
 impl<T: Element + Hash + Eq> Rdd<T> {
     /// Remove duplicate records (shuffle on the record itself).
     pub fn distinct(&self, parts: usize) -> Rdd<T> {
-        self.map(|x| (x, 1u8))
-            .reduce_by_key(parts, |a, _| a)
-            .map(|(x, _)| x)
+        self.map(|x| (x, 1u8)).reduce_by_key(parts, |a, _| a).map(|(x, _)| x)
     }
 }
 
@@ -513,7 +512,10 @@ where
     }
 
     /// Apply `f` to every value, keeping keys and partitioning intent.
-    pub fn map_values<W: Element>(&self, f: impl Fn(V) -> W + Send + Sync + 'static) -> Rdd<(K, W)> {
+    pub fn map_values<W: Element>(
+        &self,
+        f: impl Fn(V) -> W + Send + Sync + 'static,
+    ) -> Rdd<(K, W)> {
         self.map(move |(k, v)| (k, f(v)))
     }
 }
@@ -525,12 +527,8 @@ impl<T: Element> Rdd<T> {
         let counter = std::sync::atomic::AtomicU64::new(0);
         let keyed: Rdd<(u64, T)> = self.map_partitions(move |ctx, v| {
             ctx.charge(ctx.cost().map(v.len() as u64, 0));
-            v.into_iter()
-                .map(|x| (counter.fetch_add(1, Ordering::Relaxed), x))
-                .collect()
+            v.into_iter().map(|x| (counter.fetch_add(1, Ordering::Relaxed), x)).collect()
         });
-        keyed
-            .partition_by(Arc::new(HashPartitioner::new(parts)))
-            .map(|(_, x)| x)
+        keyed.partition_by(Arc::new(HashPartitioner::new(parts))).map(|(_, x)| x)
     }
 }

@@ -11,8 +11,7 @@ use crate::storage::{BlockId, StoredBlock};
 use crate::task::TaskContext;
 
 /// Map-side combine hook (`reduceByKey` aggregation before the write).
-pub type MapSideCombine<K, M> =
-    Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<(K, M)> + Send + Sync>;
+pub type MapSideCombine<K, M> = Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<(K, M)> + Send + Sync>;
 
 /// Reduce-side post-processing (grouping, reducing, sorting, identity).
 pub type PostShuffle<K, M, U> = Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<U> + Send + Sync>;
@@ -129,7 +128,11 @@ impl<T: Element> RddOps<T> for CachedRdd<T> {
         bm.cache_put(self.id, part as u32, Arc::new(data.clone()));
         bm.put(
             BlockId::Rdd { rdd_id: self.id, partition: part as u32 },
-            StoredBlock { data: bytes::Bytes::new(), virtual_len: bytes, records: data.len() as u64 },
+            StoredBlock {
+                data: bytes::Bytes::new(),
+                virtual_len: bytes,
+                records: data.len() as u64,
+            },
         );
         data
     }

@@ -75,7 +75,9 @@ impl netz::RpcHandler for EnvHandler {
     }
 
     fn receive_oneway(&self, _chan: &Arc<ChannelCore>, body: Payload) {
-        let Some(env) = body.value_as::<Envelope>() else { return };
+        let Some(env) = body.value_as::<Envelope>() else {
+            return;
+        };
         if let Some(q) = self.endpoints.lock().get(&env.endpoint).cloned() {
             q.send(Inbound { msg: env.msg.clone(), reply: None });
         }
@@ -108,7 +110,8 @@ impl RpcEnv {
     ) -> Arc<RpcEnv> {
         let endpoints: Arc<Mutex<HashMap<String, Queue<Inbound>>>> = Arc::default();
         let streams: Arc<Mutex<Option<Arc<dyn netz::StreamManager>>>> = Arc::default();
-        let handler = Arc::new(EnvHandler { endpoints: endpoints.clone(), streams: streams.clone() });
+        let handler =
+            Arc::new(EnvHandler { endpoints: endpoints.clone(), streams: streams.clone() });
         let ctx: TransportContext = backend.rpc_context(identity, net, handler);
         let conf = ctx.conf();
         let name = format!("rpc:{}", identity.name);
@@ -116,7 +119,14 @@ impl RpcEnv {
             Some(p) => ctx.create_server(name.clone(), identity.node, p),
             None => ctx.create_client_endpoint(name.clone(), identity.node),
         };
-        Arc::new(RpcEnv { server, endpoints, streams, clients: Mutex::new(HashMap::new()), conf, name })
+        Arc::new(RpcEnv {
+            server,
+            endpoints,
+            streams,
+            clients: Mutex::new(HashMap::new()),
+            conf,
+            name,
+        })
     }
 
     /// Address other processes reach this environment at.
@@ -357,30 +367,42 @@ mod tests {
         sim.run().unwrap().assert_clean();
     }
 
-#[test]
-fn fetch_stream_roundtrip() {
-    use std::sync::Arc;
-    use crate::net_backend::{NetworkBackend, VanillaBackend, ProcIdentity, Role};
-    use fabric::{ClusterSpec, Net};
-    struct S;
-    impl netz::StreamManager for S {
-        fn get_chunk(&self, _s: u64, _c: u32) -> Result<fabric::Payload, String> { Err("no".into()) }
-        fn open_stream(&self, name: &str) -> Result<fabric::Payload, String> {
-            Ok(fabric::Payload::control(name.to_string(), 128))
+    #[test]
+    fn fetch_stream_roundtrip() {
+        use crate::net_backend::{NetworkBackend, ProcIdentity, Role, VanillaBackend};
+        use fabric::{ClusterSpec, Net};
+        use std::sync::Arc;
+        struct S;
+        impl netz::StreamManager for S {
+            fn get_chunk(&self, _s: u64, _c: u32) -> Result<fabric::Payload, String> {
+                Err("no".into())
+            }
+            fn open_stream(&self, name: &str) -> Result<fabric::Payload, String> {
+                Ok(fabric::Payload::control(name.to_string(), 128))
+            }
         }
+        let sim = simt::Sim::new();
+        sim.spawn("main", || {
+            let net = Net::new(&ClusterSpec::test(2));
+            let backend: Arc<dyn NetworkBackend> = Arc::new(VanillaBackend::default());
+            let a = crate::rpc::RpcEnv::new(
+                &net,
+                &ProcIdentity::new(Role::Driver, 0, "a"),
+                &backend,
+                Some(700),
+            );
+            a.set_stream_manager(Arc::new(S));
+            let b = crate::rpc::RpcEnv::new(
+                &net,
+                &ProcIdentity::new(Role::Executor(0), 1, "b"),
+                &backend,
+                None,
+            );
+            let p = b.fetch_stream(a.addr(), "/broadcast/7").unwrap();
+            assert_eq!(*p.value_as::<String>().unwrap(), "/broadcast/7");
+        });
+        sim.run().unwrap().assert_clean();
     }
-    let sim = simt::Sim::new();
-    sim.spawn("main", || {
-        let net = Net::new(&ClusterSpec::test(2));
-        let backend: Arc<dyn NetworkBackend> = Arc::new(VanillaBackend::default());
-        let a = crate::rpc::RpcEnv::new(&net, &ProcIdentity::new(Role::Driver, 0, "a"), &backend, Some(700));
-        a.set_stream_manager(Arc::new(S));
-        let b = crate::rpc::RpcEnv::new(&net, &ProcIdentity::new(Role::Executor(0), 1, "b"), &backend, None);
-        let p = b.fetch_stream(a.addr(), "/broadcast/7").unwrap();
-        assert_eq!(*p.value_as::<String>().unwrap(), "/broadcast/7");
-    });
-    sim.run().unwrap().assert_clean();
-}
 
     #[test]
     fn endpoints_block_independently() {

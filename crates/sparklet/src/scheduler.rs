@@ -127,7 +127,13 @@ pub struct InvalidateShuffle {
 
 enum SchedEvent {
     ExecutorRegistered,
-    TaskFinished { stage_seq: u64, part: usize, exec_id: usize, output: TaskOutput, metrics: TaskMetrics },
+    TaskFinished {
+        stage_seq: u64,
+        part: usize,
+        exec_id: usize,
+        output: TaskOutput,
+        metrics: TaskMetrics,
+    },
 }
 
 /// A registered executor.
@@ -218,11 +224,8 @@ impl DagScheduler {
     ) -> (StageMetrics, Vec<(usize, TaskOutput)>) {
         let stage_seq = self.next_stage_seq.fetch_add(1, Ordering::Relaxed);
         let quarantined = self.quarantined.lock().clone();
-        let execs: Vec<ExecutorHandle> = self
-            .executors()
-            .into_iter()
-            .filter(|e| !quarantined.contains(&e.exec_id))
-            .collect();
+        let execs: Vec<ExecutorHandle> =
+            self.executors().into_iter().filter(|e| !quarantined.contains(&e.exec_id)).collect();
         assert!(!execs.is_empty(), "no healthy executors registered");
         let n_exec = execs.len();
         let n = tasks.len();
@@ -236,9 +239,15 @@ impl DagScheduler {
         }
         let mut free: Vec<u32> = execs.iter().map(|e| e.cores).collect();
 
-        let dispatch = |e: usize, free: &mut Vec<u32>, queues: &mut Vec<std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>>| {
+        let dispatch = |e: usize,
+                        free: &mut Vec<u32>,
+                        queues: &mut Vec<
+            std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>,
+        >| {
             while free[e] > 0 {
-                let Some((part, runner)) = queues[e].pop_front() else { break };
+                let Some((part, runner)) = queues[e].pop_front() else {
+                    break;
+                };
                 free[e] -= 1;
                 execs[e]
                     .rpc
@@ -387,10 +396,7 @@ impl JobRunner for DagScheduler {
                     }
                 }
             }
-            pending = retry_parts
-                .into_iter()
-                .map(|p| (p, job.result_tasks[p].clone()))
-                .collect();
+            pending = retry_parts.into_iter().map(|p| (p, job.result_tasks[p].clone())).collect();
             attempt += 1;
         }
         let results: Vec<AnyMsg> = results_by_part

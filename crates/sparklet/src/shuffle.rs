@@ -98,10 +98,7 @@ impl MapOutputTrackerMaster {
 
     /// True when every map slot is filled.
     pub fn is_complete(&self, shuffle_id: u32) -> bool {
-        self.outputs
-            .lock()
-            .get(&shuffle_id)
-            .is_some_and(|slots| slots.iter().all(Option::is_some))
+        self.outputs.lock().get(&shuffle_id).is_some_and(|slots| slots.iter().all(Option::is_some))
     }
 
     fn statuses(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
@@ -118,7 +115,9 @@ impl MapOutputTrackerMaster {
 
 impl RpcEndpoint for MapOutputTrackerMaster {
     fn receive(&self, msg: AnyMsg, reply: Option<ReplyFn>) {
-        let Ok(req) = msg.downcast::<GetMapOutputs>() else { return };
+        let Ok(req) = msg.downcast::<GetMapOutputs>() else {
+            return;
+        };
         if let Some(reply) = reply {
             reply(self.statuses(req.shuffle_id));
         }
@@ -228,7 +227,11 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         if st.exec_id == my_exec {
             local.push(id);
         } else {
-            remote.entry(st.exec_id).or_insert_with(|| (st.shuffle_addr, Vec::new())).1.push((id, size));
+            remote
+                .entry(st.exec_id)
+                .or_insert_with(|| (st.shuffle_addr, Vec::new()))
+                .1
+                .push((id, size));
         }
     }
 
@@ -261,33 +264,33 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         }
     }
     // Block id -> serving executor, for failure attribution.
-    let exec_of: HashMap<BlockId, usize> = requests
-        .iter()
-        .flat_map(|r| r.blocks.iter().map(move |b| (*b, r.exec_id)))
-        .collect();
+    let exec_of: HashMap<BlockId, usize> =
+        requests.iter().flat_map(|r| r.blocks.iter().map(move |b| (*b, r.exec_id))).collect();
 
     let mut out: Vec<T> = Vec::new();
     let mut fetch_wait = 0u64;
     let mut remote_bytes = 0u64;
     let mut local_bytes = 0u64;
 
-    // Issue requests keeping at most max_bytes_in_flight outstanding.
+    // Issue requests keeping at most max_bytes_in_flight outstanding. The
+    // accounting is chunk-granular: each arriving chunk immediately frees
+    // its decoded bytes from the budget, so follow-on requests depart while
+    // the rest of the same request's chunks are still on the wire — exactly
+    // Spark's ShuffleBlockFetcherIterator, which releases budget per landed
+    // buffer, not per request.
     let sink: Queue<FetchResult> = Queue::new();
     let mut next_req = 0usize;
     let mut in_flight_bytes = 0u64;
-    let mut in_flight_reqs = 0usize;
+    let mut open_reqs = 0usize;
     let transfer = ctx.services.transfer.clone();
-    let mut req_bytes: HashMap<usize, u64> = HashMap::new(); // issued index -> bytes
-    let mut issued_order: Vec<u64> = Vec::new();
     while next_req < requests.len()
-        && (in_flight_bytes == 0 || in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight)
+        && (in_flight_bytes == 0
+            || in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight)
     {
         let r = &requests[next_req];
         transfer.fetch_blocks(r.addr, r.blocks.clone(), sink.clone());
         in_flight_bytes += r.bytes;
-        req_bytes.insert(next_req, r.bytes);
-        issued_order.push(r.bytes);
-        in_flight_reqs += 1;
+        open_reqs += 1;
         next_req += 1;
     }
 
@@ -300,11 +303,10 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         out.extend(decode_batch::<T>(&b.data));
     }
 
-    while in_flight_reqs > 0 {
+    while open_reqs > 0 {
         let t0 = simt::now();
         let res = sink.recv().expect("fetch sink open");
         fetch_wait += simt::now() - t0;
-        in_flight_reqs -= 1;
         let blocks = match res.result {
             Ok(b) => b,
             Err(_e) => {
@@ -315,6 +317,9 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
                 std::panic::panic_any(FetchFailedSignal { shuffle_id, exec_id });
             }
         };
+        if res.last {
+            open_reqs -= 1;
+        }
         let mut freed = 0u64;
         for b in blocks {
             freed += b.virtual_len;
@@ -324,12 +329,13 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         }
         in_flight_bytes = in_flight_bytes.saturating_sub(freed);
         while next_req < requests.len()
-            && in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight
+            && (in_flight_bytes == 0
+                || in_flight_bytes + requests[next_req].bytes <= conf.max_bytes_in_flight)
         {
             let r = &requests[next_req];
             transfer.fetch_blocks(r.addr, r.blocks.clone(), sink.clone());
             in_flight_bytes += r.bytes;
-            in_flight_reqs += 1;
+            open_reqs += 1;
             next_req += 1;
         }
     }

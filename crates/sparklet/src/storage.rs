@@ -134,12 +134,21 @@ impl BlockManager {
     }
 
     /// Store a typed cached partition.
-    pub fn cache_put<T: Send + Sync + 'static>(&self, rdd_id: u64, partition: u32, data: Arc<Vec<T>>) {
+    pub fn cache_put<T: Send + Sync + 'static>(
+        &self,
+        rdd_id: u64,
+        partition: u32,
+        data: Arc<Vec<T>>,
+    ) {
         self.cache.lock().insert((rdd_id, partition), data);
     }
 
     /// Fetch a typed cached partition.
-    pub fn cache_get<T: Send + Sync + 'static>(&self, rdd_id: u64, partition: u32) -> Option<Arc<Vec<T>>> {
+    pub fn cache_get<T: Send + Sync + 'static>(
+        &self,
+        rdd_id: u64,
+        partition: u32,
+    ) -> Option<Arc<Vec<T>>> {
         self.cache
             .lock()
             .get(&(rdd_id, partition))

@@ -38,10 +38,19 @@ pub struct StreamHandle {
     pub chunks: u32,
 }
 
-/// One fetched group of blocks (or a failure for the whole group).
+/// One fetched chunk of a block group (or a failure for the whole group).
+///
+/// A `fetch_blocks` call yields one `FetchResult` *per chunk*, streamed as
+/// each chunk arrives — Spark's `ShuffleBlockFetcherIterator` behaviour,
+/// where every landed buffer immediately frees `maxBytesInFlight` budget.
+/// The result with [`FetchResult::last`] set retires the request.
 pub struct FetchResult {
-    /// Blocks this result covers.
+    /// Blocks covered by *this chunk* (all requested blocks in merged mode).
     pub blocks: Vec<BlockId>,
+    /// Index of the chunk within the request's stream.
+    pub chunk_index: u32,
+    /// True on the final result of the originating `fetch_blocks` call.
+    pub last: bool,
     /// Decoded per-block data, ordered as `blocks`.
     pub result: Result<Vec<StoredBlock>, String>,
 }
@@ -75,20 +84,19 @@ pub fn encode_block_group(blocks: &[StoredBlock]) -> (Bytes, u64) {
     (w.freeze(), virt)
 }
 
-/// Decode a chunk body produced by [`encode_block_group`].
-pub fn decode_block_group(data: &[u8]) -> Result<Vec<StoredBlock>, String> {
-    let mut r = ByteReader::new(data);
+/// Decode a chunk body produced by [`encode_block_group`]. Zero-copy: each
+/// block's `data` is a slice *sharing* the chunk body's allocation, so the
+/// buffer that arrived from the wire is never duplicated.
+pub fn decode_block_group(data: &Bytes) -> Result<Vec<StoredBlock>, String> {
+    let mut r = ByteReader::new(data.clone());
     let n = r.get_u32().ok_or("truncated group header")? as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let len = r.get_u32().ok_or("truncated block length")? as usize;
         let virtual_len = r.get_u64().ok_or("truncated virtual length")?;
         let records = r.get_u64().ok_or("truncated record count")?;
-        let mut buf = vec![0u8; len];
-        for b in buf.iter_mut() {
-            *b = r.get_u8().ok_or("truncated block data")?;
-        }
-        out.push(StoredBlock { data: Bytes::from(buf), virtual_len, records });
+        let data = r.get_bytes(len).ok_or("truncated block data")?;
+        out.push(StoredBlock { data, virtual_len, records });
     }
     Ok(out)
 }
@@ -177,7 +185,8 @@ impl StreamManager for ShuffleService {
     fn get_chunk(&self, stream_id: u64, chunk_index: u32) -> Result<Payload, String> {
         let block_ids = {
             let streams = self.streams.lock();
-            let st = streams.get(&stream_id).ok_or_else(|| format!("unknown stream {stream_id}"))?;
+            let st =
+                streams.get(&stream_id).ok_or_else(|| format!("unknown stream {stream_id}"))?;
             st.chunks
                 .get(chunk_index as usize)
                 .cloned()
@@ -185,10 +194,7 @@ impl StreamManager for ShuffleService {
         };
         let mut blocks = Vec::with_capacity(block_ids.len());
         for id in &block_ids {
-            let b = self
-                .block_manager
-                .get(*id)
-                .ok_or_else(|| format!("block {id} not found"))?;
+            let b = self.block_manager.get(*id).ok_or_else(|| format!("block {id} not found"))?;
             blocks.push(b);
         }
         let (bytes, virt) = encode_block_group(&blocks);
@@ -247,10 +253,13 @@ impl NettyBlockTransferService {
 
 impl BlockTransferService for NettyBlockTransferService {
     fn fetch_blocks(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>) {
+        let fail = |sink: &Queue<FetchResult>, blocks: Vec<BlockId>, e: String| {
+            sink.send(FetchResult { blocks, chunk_index: 0, last: true, result: Err(e) });
+        };
         let client = match self.client(remote) {
             Ok(c) => c,
             Err(e) => {
-                sink.send(FetchResult { blocks, result: Err(e) });
+                fail(&sink, blocks, e);
                 return;
             }
         };
@@ -261,59 +270,39 @@ impl BlockTransferService for NettyBlockTransferService {
             Ok(reply) => match reply.value_as::<StreamHandle>() {
                 Some(h) => *h,
                 None => {
-                    sink.send(FetchResult { blocks, result: Err("bad OpenBlocks reply".into()) });
+                    fail(&sink, blocks, "bad OpenBlocks reply".into());
                     return;
                 }
             },
             Err(e) => {
-                sink.send(FetchResult { blocks, result: Err(e.to_string()) });
+                fail(&sink, blocks, e.to_string());
                 return;
             }
         };
         // One callback per chunk; chunks cover `blocks` in order (a single
-        // chunk covers all of them in merged mode). Exactly ONE FetchResult
-        // is emitted per fetch_blocks call — the reader's in-flight
-        // accounting depends on it — so chunk results aggregate here.
+        // chunk covers all of them in merged mode). Each chunk is delivered
+        // the moment it lands — no aggregation buffer — so the reader can
+        // free in-flight budget and issue follow-on requests per chunk. The
+        // counter only tracks completion to flag the last result.
         let n_chunks = handle.chunks as usize;
-        struct Agg {
-            slots: Vec<Option<Result<Vec<StoredBlock>, String>>>,
-            done: usize,
-        }
-        let agg = Arc::new(Mutex::new(Agg { slots: (0..n_chunks).map(|_| None).collect(), done: 0 }));
+        let per_block = n_chunks == blocks.len();
+        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let blocks = Arc::new(blocks);
         for i in 0..n_chunks {
             let sink = sink.clone();
-            let agg = agg.clone();
+            let done = done.clone();
             let blocks = blocks.clone();
             client.fetch_chunk_async(
                 handle.stream_id,
                 i as u32,
                 Box::new(move |res| {
-                    let finished = {
-                        let mut a = agg.lock();
-                        a.slots[i] = Some(match res {
-                            Ok(payload) => decode_block_group(&payload.bytes),
-                            Err(e) => Err(e.to_string()),
-                        });
-                        a.done += 1;
-                        a.done == n_chunks
+                    let result = match res {
+                        Ok(payload) => decode_block_group(&payload.bytes),
+                        Err(e) => Err(e.to_string()),
                     };
-                    if finished {
-                        let mut a = agg.lock();
-                        let mut all = Vec::new();
-                        let mut err = None;
-                        for slot in a.slots.iter_mut() {
-                            match slot.take().expect("all chunks resolved") {
-                                Ok(mut b) => all.append(&mut b),
-                                Err(e) => err = Some(e),
-                            }
-                        }
-                        let result = match err {
-                            None => Ok(all),
-                            Some(e) => Err(e),
-                        };
-                        sink.send(FetchResult { blocks: blocks.as_ref().clone(), result });
-                    }
+                    let covered = if per_block { vec![blocks[i]] } else { blocks.as_ref().clone() };
+                    let last = done.fetch_add(1, Ordering::Relaxed) + 1 == n_chunks;
+                    sink.send(FetchResult { blocks: covered, chunk_index: i as u32, last, result });
                 }),
             );
         }
@@ -349,11 +338,31 @@ mod tests {
 
     #[test]
     fn decode_garbage_errors() {
-        assert!(decode_block_group(&[1, 2]).is_err());
+        assert!(decode_block_group(&Bytes::from_static(&[1, 2])).is_err());
         // Claims 5 blocks but has no data.
         let mut w = ByteWriter::new();
         w.put_u32(5);
         let b = w.freeze();
         assert!(decode_block_group(&b).is_err());
+    }
+
+    #[test]
+    fn decoded_blocks_share_the_chunk_allocation() {
+        let blocks = vec![
+            StoredBlock { data: Bytes::from_static(b"first-block"), virtual_len: 11, records: 1 },
+            StoredBlock { data: Bytes::from_static(b"second"), virtual_len: 6, records: 1 },
+        ];
+        let (bytes, _) = encode_block_group(&blocks);
+        let lo = bytes.as_ptr() as usize;
+        let hi = lo + bytes.len();
+        let back = decode_block_group(&bytes).unwrap();
+        // Zero-copy: every decoded block's data points INSIDE the chunk
+        // body's allocation rather than into a fresh copy.
+        for b in &back {
+            let p = b.data.as_ptr() as usize;
+            assert!(p >= lo && p + b.data.len() <= hi, "block data was copied out of the chunk");
+        }
+        assert_eq!(&back[0].data[..], b"first-block");
+        assert_eq!(&back[1].data[..], b"second");
     }
 }

@@ -24,10 +24,11 @@ fn backend() -> Arc<dyn NetworkBackend> {
 #[test]
 fn count_over_generated_data() {
     let (spec, cluster) = small_cluster();
-    let (result, metrics) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let rdd = sc.generate(6, |p| (0..100u64).map(|i| p as u64 * 1000 + i).collect());
-        rdd.count()
-    });
+    let (result, metrics) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let rdd = sc.generate(6, |p| (0..100u64).map(|i| p as u64 * 1000 + i).collect());
+            rdd.count()
+        });
     assert_eq!(result, 600);
     assert_eq!(metrics.len(), 1);
     assert_eq!(metrics[0].stages.len(), 1);
@@ -37,9 +38,10 @@ fn count_over_generated_data() {
 #[test]
 fn collect_returns_all_records() {
     let (spec, cluster) = small_cluster();
-    let (mut result, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        sc.parallelize((0..50u64).collect(), 7).collect()
-    });
+    let (mut result, _) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            sc.parallelize((0..50u64).collect(), 7).collect()
+        });
     result.sort_unstable();
     assert_eq!(result, (0..50).collect::<Vec<u64>>());
 }
@@ -85,10 +87,11 @@ fn group_by_key_matches_oracle() {
 #[test]
 fn reduce_by_key_with_map_side_combine() {
     let (spec, cluster) = small_cluster();
-    let (mut result, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let pairs: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 10, 1)).collect();
-        sc.parallelize(pairs, 6).reduce_by_key(4, |a, b| a + b).collect()
-    });
+    let (mut result, _) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let pairs: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 10, 1)).collect();
+            sc.parallelize(pairs, 6).reduce_by_key(4, |a, b| a + b).collect()
+        });
     result.sort_unstable();
     assert_eq!(result, (0..10u64).map(|k| (k, 30u64)).collect::<Vec<_>>());
 }
@@ -96,10 +99,11 @@ fn reduce_by_key_with_map_side_combine() {
 #[test]
 fn sort_by_key_totally_orders() {
     let (spec, cluster) = small_cluster();
-    let (result, metrics) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 7919) % 1000, i)).collect();
-        sc.parallelize(pairs, 8).sort_by_key(5).collect()
-    });
+    let (result, metrics) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 7919) % 1000, i)).collect();
+            sc.parallelize(pairs, 8).sort_by_key(5).collect()
+        });
     let keys: Vec<u64> = result.iter().map(|(k, _)| *k).collect();
     let mut sorted = keys.clone();
     sorted.sort_unstable();
@@ -112,14 +116,15 @@ fn sort_by_key_totally_orders() {
 #[test]
 fn join_matches_oracle() {
     let (spec, cluster) = small_cluster();
-    let (mut result, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let left: Vec<(u64, u64)> = (0..20u64).map(|i| (i % 5, i)).collect();
-        let right: Vec<(u64, String)> = (0..5u64).map(|k| (k, format!("v{k}"))).collect();
-        let l = sc.parallelize(left, 4);
-        let r = sc.parallelize(right, 3);
-        l.join(&r, 4).collect()
-    });
-    result.sort_by(|a, b| (a.0, a.1 .0).cmp(&(b.0, b.1 .0)));
+    let (mut result, _) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let left: Vec<(u64, u64)> = (0..20u64).map(|i| (i % 5, i)).collect();
+            let right: Vec<(u64, String)> = (0..5u64).map(|k| (k, format!("v{k}"))).collect();
+            let l = sc.parallelize(left, 4);
+            let r = sc.parallelize(right, 3);
+            l.join(&r, 4).collect()
+        });
+    result.sort_by_key(|a| (a.0, a.1 .0));
     // Each key 0..5 appears 4 times on the left, once on the right.
     assert_eq!(result.len(), 20);
     for (k, (v, w)) in &result {
@@ -131,9 +136,10 @@ fn join_matches_oracle() {
 #[test]
 fn repartition_preserves_records() {
     let (spec, cluster) = small_cluster();
-    let (mut result, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        sc.parallelize((0..400u64).collect(), 3).repartition(11).collect()
-    });
+    let (mut result, _) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            sc.parallelize((0..400u64).collect(), 3).repartition(11).collect()
+        });
     result.sort_unstable();
     assert_eq!(result, (0..400).collect::<Vec<u64>>());
 }
@@ -144,18 +150,19 @@ fn cache_avoids_regeneration() {
     let (spec, cluster) = small_cluster();
     let gen_calls = Arc::new(AtomicU64::new(0));
     let gen_calls2 = gen_calls.clone();
-    let (counts, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), move |sc| {
-        let gc = gen_calls2.clone();
-        let rdd = sc
-            .generate(6, move |p| {
-                gc.fetch_add(1, Ordering::SeqCst);
-                (0..50u64).map(|i| p as u64 * 100 + i).collect()
-            })
-            .cache();
-        let a = rdd.count(); // materializes + caches
-        let b = rdd.count(); // cache hit
-        (a, b)
-    });
+    let (counts, _) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), move |sc| {
+            let gc = gen_calls2.clone();
+            let rdd = sc
+                .generate(6, move |p| {
+                    gc.fetch_add(1, Ordering::SeqCst);
+                    (0..50u64).map(|i| p as u64 * 100 + i).collect()
+                })
+                .cache();
+            let a = rdd.count(); // materializes + caches
+            let b = rdd.count(); // cache hit
+            (a, b)
+        });
     assert_eq!(counts, (300, 300));
     assert_eq!(gen_calls.load(std::sync::atomic::Ordering::SeqCst), 6, "second job must hit cache");
 }
@@ -163,15 +170,16 @@ fn cache_avoids_regeneration() {
 #[test]
 fn chained_shuffles_compute_once() {
     let (spec, cluster) = small_cluster();
-    let (result, metrics) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let pairs: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 10, i)).collect();
-        let reduced = sc.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b);
-        // Second shuffle on top of the first.
-        let regrouped = reduced.map(|(k, v)| (k % 2, v)).group_by_key(3);
-        let c1 = regrouped.count();
-        let c2 = regrouped.count(); // shuffle outputs reused
-        (c1, c2)
-    });
+    let (result, metrics) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let pairs: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 10, i)).collect();
+            let reduced = sc.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b);
+            // Second shuffle on top of the first.
+            let regrouped = reduced.map(|(k, v)| (k % 2, v)).group_by_key(3);
+            let c1 = regrouped.count();
+            let c2 = regrouped.count(); // shuffle outputs reused
+            (c1, c2)
+        });
     assert_eq!(result, (2, 2));
     // First groupby job runs two map stages (chained shuffles) + result;
     // second count reuses both shuffles → single-stage job.
@@ -182,11 +190,12 @@ fn chained_shuffles_compute_once() {
 #[test]
 fn stage_metrics_track_remote_bytes() {
     let (spec, cluster) = small_cluster();
-    let (_, metrics) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-        let pairs: Vec<(u64, sparklet::Blob)> =
-            (0..90u64).map(|i| (i, sparklet::Blob::new(i, 1 << 16))).collect();
-        sc.parallelize(pairs, 6).group_by_key(6).count()
-    });
+    let (_, metrics) =
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let pairs: Vec<(u64, sparklet::Blob)> =
+                (0..90u64).map(|i| (i, sparklet::Blob::new(i, 1 << 16))).collect();
+            sc.parallelize(pairs, 6).group_by_key(6).count()
+        });
     let job = &metrics[0];
     let result_stage = job.stages.iter().find(|s| s.name.contains("ResultStage")).unwrap();
     // 3 executors → roughly 2/3 of shuffle traffic is remote.
@@ -222,10 +231,11 @@ fn per_block_chunk_mode_matches_merged_mode() {
         conf.merge_chunks_per_request = merged;
         conf.cost.task_overhead_ns = 10_000;
         let cluster = ClusterConfig::paper_layout(spec.len(), conf);
-        let (mut res, _) = simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
-            let pairs: Vec<(u64, u64)> = (0..150u64).map(|i| (i % 9, i * 3)).collect();
-            sc.parallelize(pairs, 5).group_by_key(4).collect()
-        });
+        let (mut res, _) =
+            simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+                let pairs: Vec<(u64, u64)> = (0..150u64).map(|i| (i % 9, i * 3)).collect();
+                sc.parallelize(pairs, 5).group_by_key(4).collect()
+            });
         res.sort_by_key(|(k, _)| *k);
         res.iter_mut().for_each(|(_, v)| v.sort_unstable());
         res

@@ -48,9 +48,8 @@ fn union_through_shuffle() {
 
 #[test]
 fn distinct_removes_duplicates() {
-    let mut out = run(|sc| {
-        sc.parallelize((0..200u64).map(|i| i % 17).collect(), 6).distinct(4).collect()
-    });
+    let mut out =
+        run(|sc| sc.parallelize((0..200u64).map(|i| i % 17).collect(), 6).distinct(4).collect());
     out.sort_unstable();
     assert_eq!(out, (0..17).collect::<Vec<u64>>());
 }
@@ -81,9 +80,8 @@ fn sample_edges() {
 
 #[test]
 fn count_by_key_matches_oracle() {
-    let mut out = run(|sc| {
-        sc.parallelize((0..90u64).map(|i| (i % 9, i)).collect(), 5).count_by_key()
-    });
+    let mut out =
+        run(|sc| sc.parallelize((0..90u64).map(|i| (i % 9, i)).collect(), 5).count_by_key());
     out.sort_unstable();
     assert_eq!(out, (0..9u64).map(|k| (k, 10u64)).collect::<Vec<_>>());
 }
@@ -127,9 +125,8 @@ fn empty_rdd_operations() {
 
 #[test]
 fn single_partition_single_record() {
-    let out = run(|sc| {
-        sc.parallelize(vec![(7u64, 1u64)], 1).reduce_by_key(1, |a, b| a + b).collect()
-    });
+    let out =
+        run(|sc| sc.parallelize(vec![(7u64, 1u64)], 1).reduce_by_key(1, |a, b| a + b).collect());
     assert_eq!(out, vec![(7, 1)]);
 }
 
@@ -137,9 +134,7 @@ fn single_partition_single_record() {
 fn skewed_keys_all_to_one_partition() {
     // All records share one key: one reduce partition receives everything.
     let out = run(|sc| {
-        sc.parallelize((0..500u64).map(|i| (42u64, i)).collect(), 8)
-            .group_by_key(8)
-            .collect()
+        sc.parallelize((0..500u64).map(|i| (42u64, i)).collect(), 8).group_by_key(8).collect()
     });
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].1.len(), 500);

@@ -34,7 +34,6 @@ pub struct NWeightConfig {
 /// One weighted path/edge endpoint record.
 type PathRecord = (u64, ((u64, f64), Blob));
 
-
 /// Build the adjacency RDD keyed by source: `(src, ((dst, weight), pad))`.
 pub fn adjacency(sc: &SparkContext, cfg: NWeightConfig) -> Rdd<PathRecord> {
     let per_part = cfg.vertices / cfg.partitions as u64;
@@ -61,18 +60,16 @@ pub fn nweight_app(sc: &SparkContext, cfg: NWeightConfig) -> u64 {
     adj.count(); // job 0: datagen
 
     // Length-1 paths keyed by their endpoint: (end, ((origin, weight), pad)).
-    let mut paths: Rdd<PathRecord> =
-        adj.map(|(src, ((dst, w), b))| (dst, ((src, w), b)));
+    let mut paths: Rdd<PathRecord> = adj.map(|(src, ((dst, w), b))| (dst, ((src, w), b)));
 
     for _hop in 1..cfg.hops {
         // Join paths ending at v with v's out-edges.
         let joined = paths.join(&adj.clone(), cfg.partitions);
         // Extend: new endpoint = edge dst; weight = product.
-        let extended: Rdd<((u64, u64), (f64, Blob))> = joined.map(
-            move |(_via, (((origin, w1), b), ((dst, w2), _b2)))| {
+        let extended: Rdd<((u64, u64), (f64, Blob))> =
+            joined.map(move |(_via, (((origin, w1), b), ((dst, w2), _b2)))| {
                 ((origin, dst), (w1 * w2, b))
-            },
-        );
+            });
         // Combine parallel paths per (origin, destination).
         let combined = extended
             .map(|(k, (w, b))| (k, (w, b)))

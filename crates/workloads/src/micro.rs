@@ -41,9 +41,7 @@ pub fn repartition_app(sc: &SparkContext, cfg: MicroConfig) -> u64 {
     let data = sc
         .generate(cfg.partitions, move |p| {
             let mut rng = SmallRng::seed_from_u64(cfg.seed ^ p as u64);
-            (0..cfg.records_per_partition)
-                .map(|_| Blob::new(rng.gen(), cfg.record_bytes))
-                .collect()
+            (0..cfg.records_per_partition).map(|_| Blob::new(rng.gen(), cfg.record_bytes)).collect()
         })
         .cache();
     data.count();
@@ -54,15 +52,15 @@ pub fn repartition_app(sc: &SparkContext, cfg: MicroConfig) -> u64 {
         ctx.services.net.disk_write(ctx.services.node, bytes);
         recs
     })
-        .repartition(cfg.partitions)
-        .map_partitions(|ctx, recs| {
-            // HiBench writes the repartitioned output back to HDFS
-            // (single-replica benchmark configuration).
-            let bytes: u64 = recs.iter().map(sparklet::Element::virtual_size).sum();
-            ctx.services.net.disk_write(ctx.services.node, bytes);
-            recs
-        })
-        .count()
+    .repartition(cfg.partitions)
+    .map_partitions(|ctx, recs| {
+        // HiBench writes the repartitioned output back to HDFS
+        // (single-replica benchmark configuration).
+        let bytes: u64 = recs.iter().map(sparklet::Element::virtual_size).sum();
+        ctx.services.net.disk_write(ctx.services.node, bytes);
+        recs
+    })
+    .count()
 }
 
 /// HiBench TeraSort: sort 100-byte-class records by key. Returns the
@@ -73,7 +71,9 @@ pub fn terasort_app(sc: &SparkContext, cfg: MicroConfig) -> u64 {
         .generate(cfg.partitions, move |p| {
             let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (p as u64) << 7);
             (0..cfg.records_per_partition)
-                .map(|_| (rng.gen::<u64>(), Blob::new(rng.gen(), cfg.record_bytes.saturating_sub(10))))
+                .map(|_| {
+                    (rng.gen::<u64>(), Blob::new(rng.gen(), cfg.record_bytes.saturating_sub(10)))
+                })
                 .collect::<Vec<(u64, Blob)>>()
         })
         .cache();
@@ -84,18 +84,18 @@ pub fn terasort_app(sc: &SparkContext, cfg: MicroConfig) -> u64 {
         ctx.services.net.disk_write(ctx.services.node, bytes);
         recs
     })
-        .sort_by_key(cfg.partitions)
-        .map_partitions(|ctx, recs| {
-            let bytes: u64 = recs.iter().map(sparklet::Element::virtual_size).sum();
-            // Canonical TeraSort sorts 100-byte records: charge the
-            // comparison work for the *virtual* record population (the real
-            // records here are few and huge).
-            ctx.charge(ctx.cost().sort(bytes / 100, 0));
-            // Output lands on HDFS with the default replication of 3.
-            ctx.services.net.disk_write(ctx.services.node, bytes * 3);
-            recs
-        })
-        .count()
+    .sort_by_key(cfg.partitions)
+    .map_partitions(|ctx, recs| {
+        let bytes: u64 = recs.iter().map(sparklet::Element::virtual_size).sum();
+        // Canonical TeraSort sorts 100-byte records: charge the
+        // comparison work for the *virtual* record population (the real
+        // records here are few and huge).
+        ctx.charge(ctx.cost().sort(bytes / 100, 0));
+        // Output lands on HDFS with the default replication of 3.
+        ctx.services.net.disk_write(ctx.services.node, bytes * 3);
+        recs
+    })
+    .count()
 }
 
 #[cfg(test)]

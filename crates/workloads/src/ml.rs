@@ -315,9 +315,8 @@ pub fn lda_app(sc: &SparkContext, cfg: MlConfig, vocab: usize, topics: usize) ->
                 .collect()
         });
         // M-step shuffle: word-topic counts across the vocabulary.
-        let counts = contrib.reduce_by_key(cfg.agg_partitions.max(1), |(a, b), (c, _)| {
-            (vec_add(a, &c), b)
-        });
+        let counts =
+            contrib.reduce_by_key(cfg.agg_partitions.max(1), |(a, b), (c, _)| (vec_add(a, &c), b));
         let rows = counts.collect();
         let mut new_phi = vec![vec![1e-9; vocab]; topics];
         let mut loglik = 0.0;

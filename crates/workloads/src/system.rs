@@ -39,7 +39,7 @@ impl System {
     /// IB-only, hence absent from the paper's Stampede2 results).
     pub fn available_on(spec: &ClusterSpec) -> Vec<System> {
         let mut v = vec![System::Vanilla];
-        if spec.interconnect.name.contains("IB") {
+        if spec.interconnect.kind == fabric::FabricKind::InfiniBand {
             v.push(System::RdmaSpark);
         }
         v.push(System::Mpi4Spark);
@@ -76,12 +76,32 @@ impl System {
         cluster: ClusterConfig,
         app: impl FnOnce(&SparkContext) -> R + Send + 'static,
     ) -> RunOutcome<R> {
+        self.run_with_route(spec, cluster, None, app)
+    }
+
+    /// [`System::run`] with an explicit body-routing policy override for the
+    /// MPI systems (§VI-E ablations). `None` keeps each design's default;
+    /// the non-MPI systems have no out-of-band plane and ignore it.
+    pub fn run_with_route<R: Send + Sync + 'static>(
+        &self,
+        spec: &ClusterSpec,
+        cluster: ClusterConfig,
+        route: Option<netz::RoutePolicy>,
+        app: impl FnOnce(&SparkContext) -> R + Send + 'static,
+    ) -> RunOutcome<R> {
         let sim = Sim::new();
         let net = Net::new(spec);
         let out: OnceCell<(R, Vec<JobMetrics>)> = OnceCell::new();
         let out2 = out.clone();
         let system = *self;
         let interconnect = spec.interconnect.clone();
+        let mpi_backend = move |design: Design| {
+            let mut b = mpi4spark::MpiBackend::new(design);
+            if let Some(p) = route {
+                b = b.with_route_policy(p);
+            }
+            Arc::new(b)
+        };
         sim.spawn("launcher", move || {
             let r = match system {
                 System::Vanilla => sparklet::deploy::run_app(
@@ -99,11 +119,14 @@ impl System {
                     app,
                 ),
                 System::Mpi4SparkBasic => {
-                    mpi4spark::run_app(&net, &cluster, Design::Basic, app)
+                    mpi4spark::run_app_with_backend(&net, &cluster, mpi_backend(Design::Basic), app)
                 }
-                System::Mpi4Spark => {
-                    mpi4spark::run_app(&net, &cluster, Design::Optimized, app)
-                }
+                System::Mpi4Spark => mpi4spark::run_app_with_backend(
+                    &net,
+                    &cluster,
+                    mpi_backend(Design::Optimized),
+                    app,
+                ),
             };
             out2.put(r);
         });

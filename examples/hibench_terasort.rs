@@ -38,5 +38,7 @@ fn main() {
             );
         }
     }
-    println!("\nTeraSort's speedup is small (disk-bound); Repartition's is larger (network-bound).");
+    println!(
+        "\nTeraSort's speedup is small (disk-bound); Repartition's is larger (network-bound)."
+    );
 }

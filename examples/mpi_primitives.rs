@@ -23,7 +23,11 @@ fn main() {
             let prev = (rank + world.size() - 1) % world.size();
             world.send_value(next, 7, format!("hello from {rank}"), 64).unwrap();
             let (msg, st) = world.recv_value::<String>(Some(prev), Some(7)).unwrap();
-            println!("rank {rank} received '{msg}' (src={}, t={})", st.source, simt::time::fmt_duration(simt::now()));
+            println!(
+                "rank {rank} received '{msg}' (src={}, t={})",
+                st.source,
+                simt::time::fmt_duration(simt::now())
+            );
 
             // Collective: allgather, as used to exchange executor specs.
             let all = world.allgather(rank * 10, 8).unwrap();
@@ -42,7 +46,8 @@ fn main() {
                                 parent.remote_size()
                             );
                             // Executors shuffle over DPM_COMM.
-                            let sum = dpm.allreduce(u64::from(dpm.rank()) + 1, 8, |a, b| a + b).unwrap();
+                            let sum =
+                                dpm.allreduce(u64::from(dpm.rank()) + 1, 8, |a, b| a + b).unwrap();
                             assert_eq!(sum, 3);
                         })
                     })

@@ -16,7 +16,11 @@ fn main() {
     let spec = fabric::ClusterSpec::frontera(workers + 2);
     let cfg = OhbConfig::paper(workers, cores, 2); // 2 GiB per worker
 
-    println!("OHB GroupByTest: {} partitions, {:.1} GB total", cfg.partitions, cfg.total_bytes() as f64 / 1e9);
+    println!(
+        "OHB GroupByTest: {} partitions, {:.1} GB total",
+        cfg.partitions,
+        cfg.total_bytes() as f64 / 1e9
+    );
     println!(
         "{:>8}  {:>11} {:>10} {:>9} {:>9}  {:>13}",
         "system", "datagen(ms)", "write(ms)", "read(ms)", "total(s)", "read-speedup"

@@ -20,7 +20,8 @@ fn main() {
 
     // The workload: generate keyed blobs, group by key, count the groups.
     let workload = |sc: &sparklet::scheduler::SparkContext| {
-        let pairs: Vec<(u64, Blob)> = (0..240u64).map(|i| (i % 40, Blob::new(i, 1 << 18))).collect();
+        let pairs: Vec<(u64, Blob)> =
+            (0..240u64).map(|i| (i % 40, Blob::new(i, 1 << 18))).collect();
         sc.parallelize(pairs, 12).group_by_key(12).count()
     };
 
@@ -39,11 +40,7 @@ fn main() {
     // --- MPI4Spark: wrapper launch, DPM executors, MPI-based Netty -------
     let out = System::Mpi4Spark.run(&spec, cluster, workload);
     let read_mpi = out.jobs[0].stage_duration("ResultStage").unwrap();
-    println!(
-        "MPI4Spark     : {} groups, shuffle read {:.2} ms",
-        out.result,
-        read_mpi as f64 / 1e6
-    );
+    println!("MPI4Spark     : {} groups, shuffle read {:.2} ms", out.result, read_mpi as f64 / 1e6);
     println!("Shuffle-read speedup: {:.2}x", read_vanilla as f64 / read_mpi as f64);
     assert_eq!(groups, out.result, "both systems must compute identical results");
 }

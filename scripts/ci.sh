@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate (ROADMAP.md): build, tests, formatting, lints.
+# Usage: scripts/ci.sh [extra cargo args...]
+# Offline environments can route every invocation through a wrapper by
+# setting CARGO (e.g. CARGO=/tmp/cargo-shimmed.sh scripts/ci.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+
+echo "==> cargo build --release"
+"$CARGO" build --release --workspace "$@"
+
+echo "==> cargo test -q"
+"$CARGO" test -q --workspace "$@"
+
+echo "==> cargo fmt --check"
+"$CARGO" fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+"$CARGO" clippy --workspace --all-targets "$@" -- -D warnings
+
+echo "CI gate passed."

@@ -54,7 +54,13 @@ fn paper_performance_ordering_holds() {
     // The paper's central result at reduced scale: shuffle-read time
     // IPoIB > RDMA > MPI, and MPI-Basic slower than MPI-Optimized overall.
     let spec = ClusterSpec::frontera(4); // 2 workers
-    let cfg = OhbConfig { partitions: 8, records_per_partition: 32, value_bytes: 1 << 18, key_range: 64, seed: 5 };
+    let cfg = OhbConfig {
+        partitions: 8,
+        records_per_partition: 32,
+        value_bytes: 1 << 18,
+        key_range: 64,
+        seed: 5,
+    };
     let mut read = HashMap::new();
     let mut total = HashMap::new();
     for system in all_systems() {
@@ -92,7 +98,13 @@ fn ohb_stage_names_match_paper_breakdown() {
     // Job1-ResultStage. SortBy: sampling makes the action Job2 (paper
     // Fig. 10 naming).
     let spec = ClusterSpec::test(4);
-    let cfg = OhbConfig { partitions: 6, records_per_partition: 16, value_bytes: 4096, key_range: 30, seed: 1 };
+    let cfg = OhbConfig {
+        partitions: 6,
+        records_per_partition: 16,
+        value_bytes: 4096,
+        key_range: 30,
+        seed: 1,
+    };
 
     let cluster = ClusterConfig::paper_layout(spec.len(), conf());
     let out = System::Mpi4Spark.run(&spec, cluster, move |sc| group_by_app(sc, cfg));
@@ -114,7 +126,13 @@ fn ohb_stage_names_match_paper_breakdown() {
 fn whole_stack_is_deterministic() {
     fn once() -> (u64, u64) {
         let spec = ClusterSpec::frontera(4);
-        let cfg = OhbConfig { partitions: 8, records_per_partition: 24, value_bytes: 1 << 14, key_range: 50, seed: 99 };
+        let cfg = OhbConfig {
+            partitions: 8,
+            records_per_partition: 24,
+            value_bytes: 1 << 14,
+            key_range: 50,
+            seed: 99,
+        };
         let cluster = ClusterConfig::paper_layout(spec.len(), conf());
         let out = System::Mpi4Spark.run(&spec, cluster, move |sc| group_by_app(sc, cfg));
         (out.result, out.total_ns())
