@@ -36,6 +36,7 @@ pub struct MpiBackend {
     conf: TransportConf,
     basic_tuning: BasicTuning,
     route: RoutePolicy,
+    body_timeout_ns: u64,
 }
 
 impl MpiBackend {
@@ -47,7 +48,20 @@ impl MpiBackend {
             conf: TransportConf::default_sockets(),
             basic_tuning: BasicTuning::default(),
             route: design.default_route_policy(),
+            body_timeout_ns: simt::time::secs(120),
         }
+    }
+
+    /// Backend honoring the engine configuration's timeouts: connection
+    /// establishment and the Optimized design's bounded body wait both
+    /// follow `spark`'s settings, so chaos tests that shrink timeouts see
+    /// them respected on the MPI path too.
+    pub fn with_conf(design: Design, spark: &sparklet::config::SparkConf) -> Self {
+        let mut b = Self::new(design);
+        b.conf.request_timeout_ns = spark.request_timeout_ns;
+        b.conf.connect_timeout_ns = spark.connect_timeout_ns;
+        b.body_timeout_ns = spark.request_timeout_ns;
+        b
     }
 
     /// Override the Basic design's polling tunables (ablation benches).
@@ -95,7 +109,10 @@ impl NetworkBackend for MpiBackend {
     fn plane(&self, _plane: Plane, identity: &ProcIdentity) -> PlaneDesc {
         let ctx = self.mpi_ctx(identity);
         let transport: Arc<dyn netz::Transport> = match self.design {
-            Design::Optimized => Arc::new(MpiTransportOptimized::with_policy(ctx, self.route)),
+            Design::Optimized => Arc::new(
+                MpiTransportOptimized::with_policy(ctx, self.route)
+                    .with_body_timeout(self.body_timeout_ns),
+            ),
             Design::Basic => Arc::new(MpiTransportBasic::with_tuning_and_policy(
                 ctx,
                 self.basic_tuning,
@@ -103,6 +120,18 @@ impl NetworkBackend for MpiBackend {
             )),
         };
         PlaneDesc { conf: self.conf, transport, route: self.route }
+    }
+
+    fn fallback_plane(&self, _plane: Plane, _identity: &ProcIdentity) -> Option<PlaneDesc> {
+        // Degraded mode: plain Netty-over-sockets, nothing diverted to MPI.
+        // Interop with healthy MPI peers works because their transports skip
+        // pipeline handlers for channels whose peer handshake carries no MPI
+        // rank — the server answers such channels entirely on sockets.
+        Some(PlaneDesc {
+            conf: self.conf,
+            transport: Arc::new(netz::NioTransport),
+            route: RoutePolicy::NONE,
+        })
     }
 }
 

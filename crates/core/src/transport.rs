@@ -33,28 +33,30 @@ const OPT_TAG_BASE: u64 = 1 << 47;
 /// Tag for all Basic-design messages (demultiplexed by channel id inside).
 const BASIC_TAG: u64 = 1 << 46;
 
-/// Bits of the tag reserved for the per-channel body sequence number.
-const OPT_SEQ_BITS: u32 = 20;
-/// Bits of the tag reserved for the channel id.
-const OPT_CHAN_BITS: u32 = 27;
+/// splitmix64 finalizer, the tag-space mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-/// Tag for the `n`-th Optimized-design body on channel `chan`.
+/// Tag for an Optimized-design body identified by `key` on channel `chan`.
 ///
-/// The sequence field wraps at 2^20 by design: sender and receiver advance
-/// their per-channel counters in lockstep (headers travel in-order on the
-/// socket), so a wrapped tag could only be confused with a body 2^20 sends
-/// older on the same channel — long since matched. Channel ids, however,
-/// are truncated, and two channels whose ids collide modulo 2^27 would
-/// cross-match each other's bodies; channel ids are allocated sequentially
-/// per process so this asserts instead of wrapping.
-fn opt_tag(chan: ChannelId, n: u64) -> u64 {
-    assert!(
-        chan.0 < (1 << OPT_CHAN_BITS),
-        "channel id {} overflows the {}-bit MPI tag field",
-        chan.0,
-        OPT_CHAN_BITS
-    );
-    OPT_TAG_BASE | (chan.0 << OPT_SEQ_BITS) | (n & ((1 << OPT_SEQ_BITS) - 1))
+/// The key is *content-addressed*: [`Message::peek_body_key`] derives it
+/// from the header fields both ends already have (request id, stream id +
+/// chunk index, stream name), so sender and receiver agree on the tag
+/// without lockstep per-channel counters. Counters desynchronize the moment
+/// a header frame is dropped or a fetch is retried — exactly the fault
+/// conditions the chaos layer injects — and a desynchronized counter
+/// silently matches bodies to the wrong messages. Content addressing makes
+/// the tag a pure function of the message identity instead.
+///
+/// The mixed `(channel, key)` is folded into the 47 bits below
+/// `OPT_TAG_BASE`. `BASIC_TAG` demultiplexes by exact match, so overlap of
+/// the mixed bits with bit 46 is harmless.
+fn opt_tag(chan: ChannelId, key: u64) -> u64 {
+    let mixed = mix64(chan.0.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(key));
+    OPT_TAG_BASE | (mixed >> 17)
 }
 
 // =========================== Optimized design ===============================
@@ -63,6 +65,7 @@ fn opt_tag(chan: ChannelId, n: u64) -> u64 {
 pub struct MpiTransportOptimized {
     ctx: Arc<MpiProcCtx>,
     policy: RoutePolicy,
+    body_timeout_ns: u64,
 }
 
 impl MpiTransportOptimized {
@@ -74,7 +77,17 @@ impl MpiTransportOptimized {
 
     /// Transport with an explicit body-routing policy (§VI-E ablations).
     pub fn with_policy(ctx: Arc<MpiProcCtx>, policy: RoutePolicy) -> Self {
-        MpiTransportOptimized { ctx, policy }
+        MpiTransportOptimized { ctx, policy, body_timeout_ns: simt::time::secs(120) }
+    }
+
+    /// Cap how long an inbound handler waits for a body whose header
+    /// arrived. A dropped body would otherwise wedge the endpoint's event
+    /// loop in a blocking `MPI_Recv` forever; on timeout the header is
+    /// consumed and the fetch surfaces as a missing chunk to the retry
+    /// layer.
+    pub fn with_body_timeout(mut self, timeout_ns: u64) -> Self {
+        self.body_timeout_ns = timeout_ns;
+        self
     }
 }
 
@@ -106,6 +119,7 @@ impl Transport for MpiTransportOptimized {
                 ctx: self.ctx.clone(),
                 policy: self.policy,
                 received: AtomicU64::new(0),
+                body_timeout_ns: self.body_timeout_ns,
             }),
         );
     }
@@ -128,9 +142,14 @@ impl OutboundHandler for OptOutbound {
         let Some(peer_rank) = peer.mpi_rank else {
             return OutboundAction::Forward(msg);
         };
-        let n = self.sent.fetch_add(1, Ordering::Relaxed);
-        let tag = opt_tag(chan.id, n);
         let header = msg.encode_header();
+        // Content-addressed tag when the header identifies the message;
+        // anonymous types (OneWayMessage) fall back to a lockstep counter
+        // and keep the original loss sensitivity — acceptable because the
+        // default policies never route them.
+        let key = Message::peek_body_key(&header)
+            .unwrap_or_else(|| self.sent.fetch_add(1, Ordering::Relaxed));
+        let tag = opt_tag(chan.id, key);
         let body = msg.body().cloned().unwrap_or_else(Payload::empty);
         let body_virtual = body.virtual_len;
         let (comm, dest) = self.ctx.route(peer_rank, peer.comm);
@@ -150,6 +169,7 @@ struct OptInbound {
     ctx: Arc<MpiProcCtx>,
     policy: RoutePolicy,
     received: AtomicU64,
+    body_timeout_ns: u64,
 }
 
 impl InboundHandler for OptInbound {
@@ -165,12 +185,18 @@ impl InboundHandler for OptInbound {
         let Some(peer_rank) = peer.mpi_rank else {
             return InboundAction::Forward(frame);
         };
-        let n = self.received.fetch_add(1, Ordering::Relaxed);
-        let tag = opt_tag(chan.id, n);
+        let key = Message::peek_body_key(&frame.header)
+            .unwrap_or_else(|| self.received.fetch_add(1, Ordering::Relaxed));
+        let tag = opt_tag(chan.id, key);
         let (comm, src) = self.ctx.route(peer_rank, peer.comm);
-        let (body, _status) = comm.recv(Some(src), Some(tag)).expect("MPI body recv");
-        match Message::decode(&frame.header, body) {
-            Ok(msg) => InboundAction::Decoded(msg),
+        // Bounded wait: if the body was lost in flight, give up and let the
+        // unanswered fetch time out at the requester instead of wedging
+        // this event loop in a blocking recv.
+        match comm.recv_timeout(Some(src), Some(tag), self.body_timeout_ns) {
+            Ok((body, _status)) => match Message::decode(&frame.header, body) {
+                Ok(msg) => InboundAction::Decoded(msg),
+                Err(_) => InboundAction::Consume,
+            },
             Err(_) => InboundAction::Consume,
         }
     }
@@ -370,33 +396,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn opt_tags_distinct_per_channel_and_seq() {
+    fn opt_tags_distinct_per_channel_and_key() {
         let a = opt_tag(ChannelId(1), 0);
         let b = opt_tag(ChannelId(1), 1);
         let c = opt_tag(ChannelId(2), 0);
         assert!(a != b && a != c && b != c);
         assert!(a & OPT_TAG_BASE != 0);
-        assert_eq!(a & BASIC_TAG, 0);
+        assert_ne!(a, BASIC_TAG);
     }
 
     #[test]
-    fn opt_tag_sequence_wraps_in_lockstep() {
-        // Sequence numbers wrap at 2^20: the tag repeats but never collides
-        // with another channel's tags.
-        let wrapped = opt_tag(ChannelId(3), 1 << OPT_SEQ_BITS);
-        assert_eq!(wrapped, opt_tag(ChannelId(3), 0));
-        assert_ne!(wrapped, opt_tag(ChannelId(4), 0));
-        // Largest valid channel id keeps the opt marker and can never be
-        // mistaken for the Basic design's tag.
-        let top = opt_tag(ChannelId((1 << OPT_CHAN_BITS) - 1), (1 << OPT_SEQ_BITS) - 1);
-        assert!(top & OPT_TAG_BASE != 0);
-        assert_ne!(top, BASIC_TAG);
+    fn opt_tag_is_a_pure_function_of_identity() {
+        // Content addressing: recomputing the tag for the same message
+        // identity gives the same tag, however many frames were dropped or
+        // retried in between — no sequence-counter state to desync.
+        let header =
+            Message::ChunkFetchSuccess { stream_id: 99, chunk_index: 7, body: Payload::empty() }
+                .encode_header();
+        let key = Message::peek_body_key(&header).unwrap();
+        assert_eq!(opt_tag(ChannelId(3), key), opt_tag(ChannelId(3), key));
+        assert_ne!(opt_tag(ChannelId(3), key), opt_tag(ChannelId(4), key));
     }
 
     #[test]
-    #[should_panic(expected = "overflows the 27-bit MPI tag field")]
-    fn opt_tag_rejects_channel_id_overflow() {
-        let _ = opt_tag(ChannelId(1 << OPT_CHAN_BITS), 0);
+    fn opt_tags_from_distinct_chunks_do_not_collide() {
+        // Sample the tag space the way the Optimized design actually uses
+        // it: many (stream, chunk) identities on a handful of channels.
+        let mut seen = std::collections::HashSet::new();
+        for chan in 0..8u64 {
+            for stream in 0..32u64 {
+                for chunk in 0..16u32 {
+                    let header = Message::ChunkFetchSuccess {
+                        stream_id: stream,
+                        chunk_index: chunk,
+                        body: Payload::empty(),
+                    }
+                    .encode_header();
+                    let key = Message::peek_body_key(&header).unwrap();
+                    let tag = opt_tag(ChannelId(chan), key);
+                    assert!(tag & OPT_TAG_BASE != 0);
+                    assert_ne!(tag, BASIC_TAG);
+                    assert!(seen.insert(tag), "tag collision for c{chan}/s{stream}/k{chunk}");
+                }
+            }
+        }
     }
 
     #[test]

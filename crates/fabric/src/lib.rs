@@ -18,11 +18,13 @@
 //!   egress/ingress link occupancy (models shuffle incast), message delivery
 //!   with virtual-size payloads, and typed ports.
 
+pub mod chaos;
 pub mod cluster;
 pub mod model;
 pub mod net;
 pub mod payload;
 
+pub use chaos::{FaultPlan, Verdict};
 pub use cluster::{ClusterSpec, NodeId, NodeSpec};
 pub use model::{FabricKind, Interconnect, StackModel, Wire};
 pub use net::{Net, Packet, PortAddr};

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use simt::queue::{Queue, RecvError};
 use simt::Cpu;
 
+use crate::chaos::{FaultPlan, Verdict};
 use crate::cluster::{ClusterSpec, NodeId, NodeSpec};
 use crate::model::{StackModel, Wire};
 use crate::payload::Payload;
@@ -91,6 +92,10 @@ pub struct NetStats {
     pub delivered_bytes: AtomicU64,
     /// Messages dropped because the destination port was unbound.
     pub dropped_msgs: AtomicU64,
+    /// Messages dropped by an installed [`FaultPlan`].
+    pub chaos_dropped_msgs: AtomicU64,
+    /// Messages delayed by an installed [`FaultPlan`].
+    pub chaos_delayed_msgs: AtomicU64,
 }
 
 struct NetInner {
@@ -99,6 +104,8 @@ struct NetInner {
     ports: Mutex<HashMap<PortAddr, Queue<Packet>>>,
     next_auto_port: AtomicU64,
     stats: NetStats,
+    /// Fault-injection schedule consulted on every send (None = healthy).
+    chaos: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// The simulated cluster network. Cheap to clone; all clones share state.
@@ -136,8 +143,22 @@ impl Net {
                 ports: Mutex::new(HashMap::new()),
                 next_auto_port: AtomicU64::new(AUTO_PORT_BASE),
                 stats: NetStats::default(),
+                chaos: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install a fault-injection plan. Every subsequent [`Net::send`]
+    /// consults it; installing `None`-equivalent behaviour again requires a
+    /// fresh `Net`. Call before the simulation's processes start so the
+    /// schedule covers the whole run.
+    pub fn install_chaos(&self, plan: FaultPlan) {
+        *self.inner.chaos.lock() = Some(Arc::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn chaos_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.chaos.lock().clone()
     }
 
     /// Number of nodes.
@@ -232,7 +253,25 @@ impl Net {
         self.inner.nodes[from_node].cpu.execute(eff_stack.send_cpu_ns(n));
         let now = simt::now();
 
-        let deliver_at = if from_node == to.node {
+        // Fault injection: the plan rules on every message at its send
+        // instant, before any link bandwidth is booked — a message a dead
+        // link drops never occupies the NIC.
+        let chaos_extra_ns = {
+            let plan = self.inner.chaos.lock().clone();
+            match plan.map(|p| p.verdict(now, from_node, to.node, eff_stack.name)) {
+                Some(Verdict::Drop) => {
+                    self.inner.stats.chaos_dropped_msgs.fetch_add(1, Ordering::Relaxed);
+                    return now + self.inner.wire.latency_ns;
+                }
+                Some(Verdict::Delay(extra)) => {
+                    self.inner.stats.chaos_delayed_msgs.fetch_add(1, Ordering::Relaxed);
+                    extra
+                }
+                Some(Verdict::Deliver) | None => 0,
+            }
+        };
+
+        let base_deliver_at = if from_node == to.node {
             // In-memory handoff: fixed small latency, no NIC occupancy.
             now + 300 + eff_stack.tx_time_ns(n, &self.inner.wire).min(n / 10)
         } else {
@@ -243,6 +282,7 @@ impl Net {
             // concurrently (sender pushes while receiver pulls).
             now + wait_e.max(wait_i) + tx + self.inner.wire.latency_ns
         };
+        let deliver_at = base_deliver_at + chaos_extra_ns;
 
         let recv_cpu_ns = eff_stack.recv_cpu_ns(n);
         let inner = self.inner.clone();
@@ -573,6 +613,61 @@ mod tests {
             assert!(now < expect * 13 / 10, "utilization hole: {now} vs ideal {expect}");
         });
         sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn chaos_drop_window_swallows_messages_then_heals() {
+        let sim = Sim::new();
+        let net = two_node_net();
+        net.install_chaos(crate::FaultPlan::seeded(5).drop_link(0, 1, 0, 1_000_000).build());
+        let rx = net.bind(1, 7);
+        let net2 = net.clone();
+        sim.spawn("tx", move || {
+            let to = PortAddr { node: 1, port: 7 };
+            net2.send(&StackModel::native_mpi(), 0, to, Payload::bytes(Bytes::from_static(b"a")));
+            simt::sleep(2_000_000); // past the window
+            net2.send(&StackModel::native_mpi(), 0, to, Payload::bytes(Bytes::from_static(b"b")));
+        });
+        sim.spawn("rx", move || {
+            let pkt = rx.recv().unwrap();
+            assert_eq!(&pkt.payload.bytes[..], b"b", "the windowed message never arrives");
+        });
+        sim.run().unwrap().assert_clean();
+        assert_eq!(net.stats().chaos_dropped_msgs.load(Ordering::Relaxed), 1);
+        assert_eq!(net.stats().delivered_msgs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn chaos_delay_shifts_delivery_by_the_scheduled_extra() {
+        let extra = 500_000u64;
+        let deliver = |chaos: bool| {
+            let sim = Sim::new();
+            let net = two_node_net();
+            if chaos {
+                net.install_chaos(
+                    crate::FaultPlan::seeded(5).delay_link(0, 1, 0, u64::MAX, extra).build(),
+                );
+            }
+            let rx = net.bind(1, 7);
+            let net2 = net.clone();
+            sim.spawn("tx", move || {
+                let to = PortAddr { node: 1, port: 7 };
+                net2.send(
+                    &StackModel::native_mpi(),
+                    0,
+                    to,
+                    Payload::bytes(Bytes::from_static(b"x")),
+                );
+            });
+            let at = Arc::new(AtomicU64::new(0));
+            let at2 = at.clone();
+            sim.spawn("rx", move || {
+                at2.store(rx.recv().unwrap().delivered_at, Ordering::Relaxed);
+            });
+            sim.run().unwrap().assert_clean();
+            at.load(Ordering::Relaxed)
+        };
+        assert_eq!(deliver(true), deliver(false) + extra);
     }
 
     #[test]

@@ -156,6 +156,30 @@ impl Endpoint {
         }
     }
 
+    /// [`connect`](Endpoint::connect) with retries: transient failures
+    /// (refused, timed out) back off per `policy` and try again, so a
+    /// connect attempted inside a fault window succeeds once the window
+    /// closes. Jitter draws from the caller's seeded RNG to stay
+    /// replay-deterministic.
+    pub fn connect_retrying(
+        &self,
+        remote: PortAddr,
+        policy: &crate::retry::RetryPolicy,
+        rng: &mut simt::SeededRng,
+    ) -> Result<TransportClient, NetzError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.connect(remote) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < policy.max_retries && e.is_transient() => {
+                    simt::sleep(policy.backoff_ns(attempt, rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Stop accepting, close every channel, and unbind the port (stops the
     /// event loop).
     pub fn shutdown(&self) {

@@ -32,6 +32,7 @@ pub mod endpoint;
 pub mod error;
 pub mod message;
 pub mod pipeline;
+pub mod retry;
 pub mod route;
 pub mod transport;
 pub mod wire;
@@ -44,6 +45,7 @@ pub use endpoint::Endpoint;
 pub use error::NetzError;
 pub use message::Message;
 pub use pipeline::{InboundAction, InboundHandler, OutboundAction, OutboundHandler, Pipeline};
+pub use retry::RetryPolicy;
 pub use route::RoutePolicy;
 pub use transport::{NioTransport, Transport};
 pub use wire::{CommKind, Frame, Handshake, WireEvent};

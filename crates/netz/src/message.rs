@@ -322,6 +322,48 @@ impl Message {
         }
         MessageType::from_u8(header[8])
     }
+
+    /// Content-derived identity of a body-carrying message, parsed from its
+    /// encoded header. Both ends of an out-of-band body transport compute
+    /// this from the same header bytes, so it can key the side channel
+    /// (e.g. an MPI tag) without a lockstep sequence counter — which would
+    /// desynchronize the moment one frame is lost or retried.
+    ///
+    /// `None` for bodiless types and for `OneWayMessage`, whose header
+    /// carries no distinguishing field.
+    pub fn peek_body_key(header: &Bytes) -> Option<u64> {
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let ty = Message::peek_type(header)?;
+        if !ty.carries_body() {
+            return None;
+        }
+        let mut r = ByteReader::new(header.clone());
+        r.get_u64()?; // frame length
+        r.get_u8()?; // type tag
+        match ty {
+            MessageType::RpcRequest | MessageType::RpcResponse => {
+                Some(mix(r.get_u64()?.wrapping_add(1)))
+            }
+            MessageType::ChunkFetchSuccess => {
+                let stream_id = r.get_u64()?;
+                let chunk_index = r.get_u32()?;
+                Some(mix(stream_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ chunk_index as u64))
+            }
+            MessageType::StreamResponse => {
+                let name = r.get_string()?;
+                let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+                for b in name.as_bytes() {
+                    h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Some(mix(h))
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +460,37 @@ mod tests {
         let header = msg.encode_header();
         assert_eq!(Message::peek_type(&header), Some(MessageType::ChunkFetchSuccess));
         assert_eq!(Message::peek_body_len(&header), Some(777));
+    }
+
+    #[test]
+    fn body_keys_are_content_addressed() {
+        let chunk = |stream_id, chunk_index| {
+            Message::ChunkFetchSuccess { stream_id, chunk_index, body: Payload::empty() }
+                .encode_header()
+        };
+        // Same identity → same key, regardless of when it's computed.
+        assert_eq!(Message::peek_body_key(&chunk(7, 3)), Message::peek_body_key(&chunk(7, 3)));
+        // Distinct chunks and distinct streams get distinct keys.
+        assert_ne!(Message::peek_body_key(&chunk(7, 3)), Message::peek_body_key(&chunk(7, 4)));
+        assert_ne!(Message::peek_body_key(&chunk(7, 3)), Message::peek_body_key(&chunk(8, 3)));
+
+        let rpc = Message::RpcResponse { request_id: 42, body: Payload::empty() }.encode_header();
+        assert!(Message::peek_body_key(&rpc).is_some());
+        assert_ne!(Message::peek_body_key(&rpc), Message::peek_body_key(&chunk(7, 3)));
+
+        let stream = Message::StreamResponse {
+            stream_id: "/jars/app.jar".into(),
+            byte_count: 1,
+            body: Payload::empty(),
+        }
+        .encode_header();
+        assert!(Message::peek_body_key(&stream).is_some());
+
+        // Bodiless and anonymous types have no key.
+        let req = Message::ChunkFetchRequest { stream_id: 7, chunk_index: 3 }.encode_header();
+        assert_eq!(Message::peek_body_key(&req), None);
+        let oneway = Message::OneWayMessage { body: Payload::empty() }.encode_header();
+        assert_eq!(Message::peek_body_key(&oneway), None);
     }
 
     #[test]

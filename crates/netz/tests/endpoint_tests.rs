@@ -340,3 +340,128 @@ fn metrics_count_traffic() {
     });
     sim.run().unwrap().assert_clean();
 }
+
+#[test]
+fn connect_timeout_is_bounded_by_the_virtual_clock() {
+    // The failed connect must consume exactly the configured timeout of
+    // virtual time (no hidden polling slop), and classify as a transient
+    // plane-level failure so the layers above retry / degrade correctly.
+    let (sim, net) = setup(2);
+    sim.spawn("main", move || {
+        let mut conf = TransportConf::default_sockets();
+        conf.connect_timeout_ns = simt::time::millis(5);
+        let ep = TransportContext::new(net.clone(), conf, Arc::new(NoOpRpcHandler))
+            .create_client_endpoint("client", 1);
+        let t0 = simt::now();
+        let Err(e) = ep.connect(fabric::PortAddr { node: 0, port: 9999 }) else {
+            panic!("connect to an unbound port cannot succeed");
+        };
+        let waited = simt::now() - t0;
+        assert!(waited >= simt::time::millis(5), "gave up early: {waited} ns");
+        assert!(waited < simt::time::millis(6), "overshot the timeout: {waited} ns");
+        assert!(e.is_transient());
+        assert!(e.is_plane_failure());
+    });
+    sim.run().unwrap().assert_clean();
+}
+
+#[test]
+fn connect_retrying_rides_out_a_chaos_window() {
+    // The link to the server is dead for the first 12 ms of virtual time.
+    // Plain `connect` gives up inside the window; `connect_retrying`'s
+    // backoff schedule must carry it past the outage and succeed.
+    let (sim, net) = setup(2);
+    net.install_chaos(
+        fabric::FaultPlan::seeded(6).drop_link_sym(0, 1, 0, simt::time::millis(12)).build(),
+    );
+    sim.spawn("main", move || {
+        let mut conf = TransportConf::default_sockets();
+        conf.connect_timeout_ns = simt::time::millis(4);
+        let server = TransportContext::new(net.clone(), conf, Arc::new(EchoHandler))
+            .create_server("server", 0, 100);
+        let ep = TransportContext::new(net.clone(), conf, Arc::new(NoOpRpcHandler))
+            .create_client_endpoint("client", 1);
+        let policy = netz::RetryPolicy {
+            max_retries: 6,
+            base_delay_ns: simt::time::millis(2),
+            max_delay_ns: simt::time::millis(20),
+            jitter_frac: 0.2,
+        };
+        let mut rng = simt::SeededRng::from_seed(41);
+        let client = ep.connect_retrying(server.addr(), &policy, &mut rng).unwrap();
+        assert!(
+            simt::now() >= simt::time::millis(12),
+            "a connection cannot exist before the window lifts (now = {} ns)",
+            simt::now()
+        );
+        let reply = client.send_rpc(Payload::bytes(Bytes::from_static(b"alive"))).unwrap();
+        assert_eq!(&reply.bytes[..], b"alive");
+    });
+    sim.run().unwrap().assert_clean();
+}
+
+#[test]
+fn mid_stream_disconnect_is_a_plane_failure() {
+    // First chunk lands; the server dies mid-stream; the next chunk fetch
+    // must fail with a plane-classified error (the signal the fetch retry
+    // layer counts toward transport degradation), not hang or mislabel.
+    let (sim, net) = setup(2);
+    sim.spawn("main", move || {
+        let mut conf = TransportConf::default_sockets();
+        conf.request_timeout_ns = simt::time::millis(50);
+        let server = TransportContext::new(net.clone(), conf, Arc::new(EchoHandler))
+            .create_server("server", 0, 100);
+        let ep = TransportContext::new(net.clone(), conf, Arc::new(NoOpRpcHandler))
+            .create_client_endpoint("client", 1);
+        let client = ep.connect(server.addr()).unwrap();
+        let chunk = client.fetch_chunk(1, 0).unwrap();
+        assert_eq!(&chunk.bytes[..], b"chunk-1-0");
+        server.shutdown();
+        simt::sleep(simt::time::millis(5));
+        let Err(e) = client.fetch_chunk(1, 1) else {
+            panic!("chunk fetch from a dead server cannot succeed");
+        };
+        assert!(e.is_plane_failure(), "mid-stream disconnect misclassified: {e:?}");
+    });
+    sim.run().unwrap().assert_clean();
+}
+
+#[test]
+fn backoff_schedule_is_ordered_against_virtual_timestamps() {
+    // Sleep through a retry schedule on the virtual clock and check the
+    // recorded timestamps: strictly increasing, gaps doubling (with jitter
+    // bounded by `jitter_frac`) until the cap, then pinned at the cap.
+    let sim = Sim::new();
+    sim.spawn("main", move || {
+        let base = simt::time::millis(10);
+        let cap = simt::time::millis(40);
+        let policy = netz::RetryPolicy {
+            max_retries: 6,
+            base_delay_ns: base,
+            max_delay_ns: cap,
+            jitter_frac: 0.2,
+        };
+        let mut rng = simt::SeededRng::from_seed(77);
+        let mut stamps = vec![simt::now()];
+        for attempt in 0..6 {
+            simt::sleep(policy.backoff_ns(attempt, &mut rng));
+            stamps.push(simt::now());
+        }
+        let gaps: Vec<u64> = stamps.windows(2).map(|w| w[1] - w[0]).collect();
+        for (k, gap) in gaps.iter().enumerate() {
+            let nominal = (base << k).min(cap);
+            assert!(
+                (nominal..nominal + nominal / 5 + 1).contains(gap),
+                "attempt {k}: gap {gap} outside [{nominal}, {nominal} + 20%]"
+            );
+        }
+        // Below the cap the schedule is strictly ordered even under maximal
+        // jitter: the k-th gap's floor (2^k · base) clears the (k-1)-th
+        // gap's ceiling (1.2 · 2^(k-1) · base).
+        for w in gaps.windows(2) {
+            assert!(w[1] >= w[0] || w[0] > cap, "backoff shrank: {gaps:?}");
+        }
+        assert_eq!(gaps.last().map(|g| *g >= cap), Some(true), "tail pinned at the cap");
+    });
+    sim.run().unwrap().assert_clean();
+}

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use fabric::{FabricKind, StackModel};
 use netz::{NioTransport, RoutePolicy, TransportConf};
+use sparklet::config::SparkConf;
 use sparklet::net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity};
 
 /// The RDMA-Spark network backend.
@@ -52,6 +53,16 @@ impl RdmaBackend {
         let rpc_conf = TransportConf::default_sockets();
         let shuffle_conf = TransportConf { stack: StackModel::rdma_verbs(), ..rpc_conf };
         RdmaBackend { rpc_conf, shuffle_conf }
+    }
+
+    /// Backend honoring the engine configuration's timeouts on both planes.
+    pub fn with_conf(interconnect: &fabric::Interconnect, spark: &SparkConf) -> Self {
+        let mut b = Self::new(interconnect);
+        for conf in [&mut b.rpc_conf, &mut b.shuffle_conf] {
+            conf.request_timeout_ns = spark.request_timeout_ns;
+            conf.connect_timeout_ns = spark.connect_timeout_ns;
+        }
+        b
     }
 
     /// The shuffle-plane stack (tests/calibration).
@@ -82,6 +93,20 @@ impl NetworkBackend for RdmaBackend {
                 transport: Arc::new(NioTransport),
                 route: RoutePolicy::SHUFFLE_BODIES,
             },
+        }
+    }
+
+    fn fallback_plane(&self, plane: Plane, _identity: &ProcIdentity) -> Option<PlaneDesc> {
+        match plane {
+            // RPC already runs on sockets: no separate degraded mode.
+            Plane::Rpc => None,
+            // Degraded shuffle: drop from verbs to the socket stack — the
+            // same path RDMA-Spark's IPoIB fallback takes when UCR fails.
+            Plane::Shuffle => Some(PlaneDesc {
+                conf: self.rpc_conf,
+                transport: Arc::new(NioTransport),
+                route: RoutePolicy::NONE,
+            }),
         }
     }
 }

@@ -44,11 +44,13 @@ pub mod cpu;
 pub mod engine;
 mod gate;
 pub mod queue;
+pub mod rng;
 pub mod sync;
 pub mod time;
 
 pub use cpu::Cpu;
 pub use engine::{Sim, SimError, SimReport, TaskId};
+pub use rng::SeededRng;
 pub use time::{Duration, Instant};
 
 use engine::with_current;

@@ -125,6 +125,24 @@ pub struct SparkConf {
     pub request_timeout_ns: u64,
     /// Connection timeout (ns).
     pub connect_timeout_ns: u64,
+    /// Per-block fetch retries after the first attempt
+    /// (`spark.shuffle.io.maxRetries`-analog; 0 disables retry).
+    pub fetch_max_retries: u32,
+    /// Base delay before the first fetch retry (ns); doubles per attempt
+    /// (`spark.shuffle.io.retryWait`-analog).
+    pub fetch_retry_base_ns: u64,
+    /// Ceiling on the exponential fetch backoff (ns).
+    pub fetch_retry_max_ns: u64,
+    /// Progress timeout for one fetch attempt: if no chunk arrives for this
+    /// long the attempt is abandoned and the missing blocks re-requested.
+    pub fetch_timeout_ns: u64,
+    /// Consecutive plane-level fetch failures (connect/timeout/closed)
+    /// before an accelerated data plane falls back to sockets.
+    pub plane_failure_threshold: u32,
+    /// Seed for retry jitter; combined with process identity so executors
+    /// don't retry in lockstep, yet every run with the same seed replays
+    /// identically.
+    pub retry_seed: u64,
     /// Compute cost model.
     pub cost: CostModel,
 }
@@ -140,6 +158,12 @@ impl Default for SparkConf {
             executor_mem_gb: 120,
             request_timeout_ns: simt::time::secs(120),
             connect_timeout_ns: simt::time::secs(10),
+            fetch_max_retries: 2,
+            fetch_retry_base_ns: simt::time::millis(100),
+            fetch_retry_max_ns: simt::time::secs(5),
+            fetch_timeout_ns: simt::time::secs(120),
+            plane_failure_threshold: 3,
+            retry_seed: 0,
             cost: CostModel::default(),
         }
     }

@@ -18,7 +18,10 @@ use crate::scheduler::{
 use crate::shuffle::MapOutputClient;
 use crate::storage::BlockManager;
 use crate::task::{ExecutorServices, TaskContext};
-use crate::transfer::{BlockTransferService, NettyBlockTransferService, ShuffleService};
+use crate::transfer::{
+    BlockTransferService, NettyBlockTransferService, RetryConf, RetryingBlockFetcher,
+    ShuffleService,
+};
 
 /// Arguments for [`executor_main`].
 #[derive(Clone)]
@@ -122,7 +125,24 @@ pub fn executor_main(args: ExecutorArgs, ext: Option<Arc<dyn Any + Send + Sync>>
         block_manager.clone(),
         args.conf,
     );
-    let transfer = NettyBlockTransferService::new(&identity, &args.net, &args.backend);
+    let primary: Arc<dyn BlockTransferService> =
+        NettyBlockTransferService::new(&identity, &args.net, &args.backend);
+    // Degraded-mode sibling on the backend's fallback plane (plain
+    // sockets), engaged by the retry layer after consecutive plane-level
+    // failures; backends without a separate fallback (Vanilla) get none.
+    let fallback: Option<Arc<dyn BlockTransferService>> = args
+        .backend
+        .fallback_shuffle_context(&identity, &args.net, Arc::new(netz::NoOpRpcHandler))
+        .map(|ctx| {
+            NettyBlockTransferService::with_context(ctx, &identity, "fetch-fallback")
+                as Arc<dyn BlockTransferService>
+        });
+    let transfer = RetryingBlockFetcher::new(
+        primary,
+        fallback,
+        RetryConf::from_spark(&args.conf),
+        args.spec.exec_id as u64 + 1,
+    );
     let driver_sched = env.endpoint_ref(args.spec.driver_sched_addr, "DagScheduler");
     let tracker_ref = env.endpoint_ref(args.spec.driver_sched_addr, "MapOutputTracker");
 

@@ -119,6 +119,30 @@ pub trait NetworkBackend: Send + Sync + 'static {
     ) -> TransportContext {
         self.context(Plane::Shuffle, identity, net, handler)
     }
+
+    /// Degraded-mode descriptor for `plane`, if the backend has one.
+    ///
+    /// Backends whose primary plane runs an accelerated transport
+    /// (MPI, RDMA verbs) can declare a plain-sockets descriptor here; the
+    /// retry layer switches to it after
+    /// [`SparkConf::plane_failure_threshold`](crate::config::SparkConf)
+    /// consecutive plane-level failures. `None` (the default) means the
+    /// plane has no separate fallback — Vanilla already runs on sockets.
+    fn fallback_plane(&self, _plane: Plane, _identity: &ProcIdentity) -> Option<PlaneDesc> {
+        None
+    }
+
+    /// Transport context for the shuffle plane's fallback descriptor, when
+    /// one exists.
+    fn fallback_shuffle_context(
+        &self,
+        identity: &ProcIdentity,
+        net: &Net,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Option<TransportContext> {
+        let desc = self.fallback_plane(Plane::Shuffle, identity)?;
+        Some(TransportContext::with_transport(net.clone(), desc.conf, handler, desc.transport))
+    }
 }
 
 /// Vanilla Spark: Netty NIO over Java sockets on both planes.

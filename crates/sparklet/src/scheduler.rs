@@ -41,6 +41,9 @@ pub struct StageMetrics {
     pub remote_bytes: u64,
     /// Virtual bytes read from local blocks.
     pub local_bytes: u64,
+    /// Fetch re-requests the retry layer performed across the stage's tasks
+    /// (0 on a healthy run).
+    pub fetch_retries: u64,
 }
 
 impl StageMetrics {
@@ -264,6 +267,7 @@ impl DagScheduler {
         let mut fetch_wait = 0u64;
         let mut remote_bytes = 0u64;
         let mut local_bytes = 0u64;
+        let mut fetch_retries = 0u64;
         while done < n {
             match self.events.recv().expect("scheduler event queue open") {
                 SchedEvent::ExecutorRegistered => {}
@@ -278,6 +282,7 @@ impl DagScheduler {
                     fetch_wait += metrics.shuffle_fetch_wait_ns;
                     remote_bytes += metrics.remote_bytes;
                     local_bytes += metrics.local_bytes;
+                    fetch_retries += metrics.fetch_retries;
                     done += 1;
                 }
             }
@@ -291,6 +296,7 @@ impl DagScheduler {
                 fetch_wait_ns: fetch_wait,
                 remote_bytes,
                 local_bytes,
+                fetch_retries,
             },
             outputs,
         )

@@ -303,10 +303,12 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         out.extend(decode_batch::<T>(&b.data));
     }
 
+    let mut fetch_retries = 0u64;
     while open_reqs > 0 {
         let t0 = simt::now();
         let res = sink.recv().expect("fetch sink open");
         fetch_wait += simt::now() - t0;
+        fetch_retries += res.retries as u64;
         let blocks = match res.result {
             Ok(b) => b,
             Err(_e) => {
@@ -344,6 +346,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
     m.shuffle_fetch_wait_ns += fetch_wait;
     m.remote_bytes += remote_bytes;
     m.local_bytes += local_bytes;
+    m.fetch_retries += fetch_retries;
     out
 }
 

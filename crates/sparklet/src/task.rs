@@ -68,6 +68,9 @@ pub struct TaskMetrics {
     pub remote_bytes: u64,
     /// Virtual bytes read from local shuffle blocks.
     pub local_bytes: u64,
+    /// Fetch re-requests the retry layer spent completing this task's
+    /// shuffle reads (0 on a healthy run).
+    pub fetch_retries: u64,
     /// Records produced by the task.
     pub records_out: u64,
     /// Virtual size of the task's result value (charged on the wire when

@@ -9,15 +9,16 @@
 //! message type whose body MPI4Spark-Optimized routes over MPI.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use fabric::{Net, Payload, PortAddr};
 use netz::buf::{ByteReader, ByteWriter};
-use netz::{ChannelCore, StreamManager, TransportClient, TransportContext};
+use netz::{ChannelCore, NetzError, RetryPolicy, StreamManager, TransportClient, TransportContext};
 use parking_lot::Mutex;
-use simt::queue::Queue;
+use simt::queue::{Queue, RecvError};
+use simt::SeededRng;
 
 use crate::config::SparkConf;
 use crate::net_backend::{NetworkBackend, ProcIdentity};
@@ -38,12 +39,50 @@ pub struct StreamHandle {
     pub chunks: u32,
 }
 
-/// One fetched chunk of a block group (or a failure for the whole group).
+/// Why a fetch failed, classified for the retry layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchError {
+    /// Human-readable description.
+    pub message: String,
+    /// True when the failure indicts the communication *plane* (connect
+    /// failure, dead channel, silent timeout) rather than this particular
+    /// request. Consecutive plane failures trigger transport fallback.
+    pub plane: bool,
+}
+
+impl FetchError {
+    /// Request-scoped failure (bad reply, decode error): retrying on the
+    /// same plane is reasonable.
+    pub fn request(message: impl Into<String>) -> Self {
+        FetchError { message: message.into(), plane: false }
+    }
+
+    /// Plane-scoped failure: counts toward transport fallback.
+    pub fn plane(message: impl Into<String>) -> Self {
+        FetchError { message: message.into(), plane: true }
+    }
+
+    fn from_netz(e: &NetzError) -> Self {
+        FetchError { message: e.to_string(), plane: e.is_plane_failure() }
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// One fetched chunk of a block group (or a failure for the blocks it
+/// covers).
 ///
 /// A `fetch_blocks` call yields one `FetchResult` *per chunk*, streamed as
 /// each chunk arrives — Spark's `ShuffleBlockFetcherIterator` behaviour,
 /// where every landed buffer immediately frees `maxBytesInFlight` budget.
-/// The result with [`FetchResult::last`] set retires the request.
+/// The result with [`FetchResult::last`] set retires the request. Failure
+/// is per-chunk, never whole-group: an `Err` covers exactly the blocks in
+/// [`FetchResult::blocks`], so one corrupted chunk cannot poison its
+/// siblings.
 pub struct FetchResult {
     /// Blocks covered by *this chunk* (all requested blocks in merged mode).
     pub blocks: Vec<BlockId>,
@@ -51,8 +90,11 @@ pub struct FetchResult {
     pub chunk_index: u32,
     /// True on the final result of the originating `fetch_blocks` call.
     pub last: bool,
+    /// Retries this fetch consumed before completing; reported on the
+    /// `last` result only (zero elsewhere) so sums count each fetch once.
+    pub retries: u32,
     /// Decoded per-block data, ordered as `blocks`.
-    pub result: Result<Vec<StoredBlock>, String>,
+    pub result: Result<Vec<StoredBlock>, FetchError>,
 }
 
 /// Shuffle-plane client interface. Implementations: the Netty-based default
@@ -231,12 +273,19 @@ impl NettyBlockTransferService {
     /// shuffle-plane transport.
     pub fn new(identity: &ProcIdentity, net: &Net, backend: &Arc<dyn NetworkBackend>) -> Arc<Self> {
         let ctx = backend.shuffle_context(identity, net, Arc::new(netz::NoOpRpcHandler));
+        Self::with_context(ctx, identity, "fetch")
+    }
+
+    /// Build the client side from an already-constructed transport context
+    /// (used to stand up the degraded-mode fallback service next to the
+    /// primary one).
+    pub fn with_context(ctx: TransportContext, identity: &ProcIdentity, label: &str) -> Arc<Self> {
         let endpoint =
-            ctx.create_client_endpoint(format!("fetch:{}", identity.name), identity.node);
+            ctx.create_client_endpoint(format!("{label}:{}", identity.name), identity.node);
         Arc::new(NettyBlockTransferService { endpoint, clients: Mutex::new(HashMap::new()) })
     }
 
-    fn client(&self, addr: PortAddr) -> Result<TransportClient, String> {
+    fn client(&self, addr: PortAddr) -> Result<TransportClient, NetzError> {
         {
             let cache = self.clients.lock();
             if let Some(c) = cache.get(&addr) {
@@ -245,7 +294,7 @@ impl NettyBlockTransferService {
                 }
             }
         }
-        let c = self.endpoint.connect(addr).map_err(|e| e.to_string())?;
+        let c = self.endpoint.connect(addr)?;
         self.clients.lock().insert(addr, c.clone());
         Ok(c)
     }
@@ -253,13 +302,22 @@ impl NettyBlockTransferService {
 
 impl BlockTransferService for NettyBlockTransferService {
     fn fetch_blocks(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>) {
-        let fail = |sink: &Queue<FetchResult>, blocks: Vec<BlockId>, e: String| {
-            sink.send(FetchResult { blocks, chunk_index: 0, last: true, result: Err(e) });
+        // Failures before any stream exists (connect, OpenBlocks) have no
+        // per-chunk structure: one `Err` covering the whole request is the
+        // honest report, and the retry layer above re-requests per block.
+        let fail = |sink: &Queue<FetchResult>, blocks: Vec<BlockId>, e: FetchError| {
+            sink.send(FetchResult {
+                blocks,
+                chunk_index: 0,
+                last: true,
+                retries: 0,
+                result: Err(e),
+            });
         };
         let client = match self.client(remote) {
             Ok(c) => c,
             Err(e) => {
-                fail(&sink, blocks, e);
+                fail(&sink, blocks, FetchError::from_netz(&e));
                 return;
             }
         };
@@ -270,12 +328,12 @@ impl BlockTransferService for NettyBlockTransferService {
             Ok(reply) => match reply.value_as::<StreamHandle>() {
                 Some(h) => *h,
                 None => {
-                    fail(&sink, blocks, "bad OpenBlocks reply".into());
+                    fail(&sink, blocks, FetchError::request("bad OpenBlocks reply"));
                     return;
                 }
             },
             Err(e) => {
-                fail(&sink, blocks, e.to_string());
+                fail(&sink, blocks, FetchError::from_netz(&e));
                 return;
             }
         };
@@ -283,7 +341,9 @@ impl BlockTransferService for NettyBlockTransferService {
         // chunk covers all of them in merged mode). Each chunk is delivered
         // the moment it lands — no aggregation buffer — so the reader can
         // free in-flight budget and issue follow-on requests per chunk. The
-        // counter only tracks completion to flag the last result.
+        // counter only tracks completion to flag the last result. A chunk
+        // that fails reports `Err` for *its own* covered blocks only;
+        // sibling chunks keep streaming.
         let n_chunks = handle.chunks as usize;
         let per_block = n_chunks == blocks.len();
         let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
@@ -297,12 +357,20 @@ impl BlockTransferService for NettyBlockTransferService {
                 i as u32,
                 Box::new(move |res| {
                     let result = match res {
-                        Ok(payload) => decode_block_group(&payload.bytes),
-                        Err(e) => Err(e.to_string()),
+                        Ok(payload) => {
+                            decode_block_group(&payload.bytes).map_err(FetchError::request)
+                        }
+                        Err(e) => Err(FetchError::from_netz(&e)),
                     };
                     let covered = if per_block { vec![blocks[i]] } else { blocks.as_ref().clone() };
                     let last = done.fetch_add(1, Ordering::Relaxed) + 1 == n_chunks;
-                    sink.send(FetchResult { blocks: covered, chunk_index: i as u32, last, result });
+                    sink.send(FetchResult {
+                        blocks: covered,
+                        chunk_index: i as u32,
+                        last,
+                        retries: 0,
+                        result,
+                    });
                 }),
             );
         }
@@ -313,6 +381,223 @@ impl BlockTransferService for NettyBlockTransferService {
             c.close();
         }
         self.endpoint.shutdown();
+    }
+}
+
+// --- retrying layer ---------------------------------------------------------
+
+/// Retry configuration for [`RetryingBlockFetcher`], derived from
+/// [`SparkConf`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConf {
+    /// Re-requests per fetch after the first attempt.
+    pub max_retries: u32,
+    /// Exponential backoff between attempts.
+    pub policy: RetryPolicy,
+    /// Progress timeout: an attempt that delivers nothing for this long is
+    /// abandoned and its missing blocks re-requested.
+    pub fetch_timeout_ns: u64,
+    /// Consecutive plane-level failures before switching to the fallback
+    /// service.
+    pub plane_failure_threshold: u32,
+    /// Jitter seed (combined with a per-process salt by the constructor).
+    pub seed: u64,
+}
+
+impl RetryConf {
+    /// Derive the retry schedule from the engine configuration.
+    pub fn from_spark(conf: &SparkConf) -> Self {
+        RetryConf {
+            max_retries: conf.fetch_max_retries,
+            policy: RetryPolicy {
+                max_retries: conf.fetch_max_retries,
+                base_delay_ns: conf.fetch_retry_base_ns,
+                max_delay_ns: conf.fetch_retry_max_ns,
+                jitter_frac: 0.2,
+            },
+            fetch_timeout_ns: conf.fetch_timeout_ns,
+            plane_failure_threshold: conf.plane_failure_threshold,
+            seed: conf.retry_seed,
+        }
+    }
+}
+
+struct RetryInner {
+    primary: Arc<dyn BlockTransferService>,
+    fallback: Option<Arc<dyn BlockTransferService>>,
+    conf: RetryConf,
+    /// Sticky: once the plane is declared degraded every later fetch uses
+    /// the fallback service.
+    degraded: AtomicBool,
+    consecutive_plane_failures: AtomicU32,
+    retries_performed: AtomicU64,
+    rng: Mutex<SeededRng>,
+}
+
+/// Spark's `RetryingBlockTransferor` analog: wraps a
+/// [`BlockTransferService`] with per-block retry, exponential backoff with
+/// seeded jitter, progress timeouts that re-request only the still-missing
+/// blocks, and graceful degradation to a fallback (socket-plane) service
+/// after consecutive plane-level failures.
+pub struct RetryingBlockFetcher {
+    inner: Arc<RetryInner>,
+}
+
+impl RetryingBlockFetcher {
+    /// Wrap `primary`. `fallback`, when present, is an independent service
+    /// on the degraded plane (plain sockets); `salt` decorrelates this
+    /// process's jitter stream from its peers' without breaking seed replay.
+    pub fn new(
+        primary: Arc<dyn BlockTransferService>,
+        fallback: Option<Arc<dyn BlockTransferService>>,
+        conf: RetryConf,
+        salt: u64,
+    ) -> Arc<Self> {
+        let rng = SeededRng::from_seed(conf.seed).fork(salt);
+        Arc::new(RetryingBlockFetcher {
+            inner: Arc::new(RetryInner {
+                primary,
+                fallback,
+                conf,
+                degraded: AtomicBool::new(false),
+                consecutive_plane_failures: AtomicU32::new(0),
+                retries_performed: AtomicU64::new(0),
+                rng: Mutex::new(rng),
+            }),
+        })
+    }
+
+    /// Total re-requests issued across all fetches (tests/reports).
+    pub fn retries_performed(&self) -> u64 {
+        self.inner.retries_performed.load(Ordering::Relaxed)
+    }
+
+    /// True once the primary plane has been abandoned for the fallback.
+    pub fn degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+}
+
+impl RetryInner {
+    fn service(&self) -> &Arc<dyn BlockTransferService> {
+        if self.degraded.load(Ordering::Relaxed) {
+            self.fallback.as_ref().unwrap_or(&self.primary)
+        } else {
+            &self.primary
+        }
+    }
+
+    fn note_plane_failure(&self) {
+        let n = self.consecutive_plane_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.plane_threshold() && self.fallback.is_some() {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn plane_threshold(&self) -> u32 {
+        self.conf.plane_failure_threshold.max(1)
+    }
+
+    /// Drive one fetch to completion: attempt, drain, re-request what's
+    /// missing, and forward results to `sink` with recomputed `last`/
+    /// `retries` so the consumer sees one coherent request.
+    fn run(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>) {
+        let mut missing = blocks;
+        let mut retries = 0u32;
+        let mut last_error = FetchError::request("fetch failed");
+        loop {
+            let attempt_sink: Queue<FetchResult> = Queue::new();
+            self.service().fetch_blocks(remote, missing.clone(), attempt_sink.clone());
+            let mut progressed = false;
+            let mut plane_failed = false;
+            // Idle-reset deadline: each arriving chunk proves the attempt is
+            // alive, so only a *stall* of fetch_timeout_ns abandons it.
+            loop {
+                let res = match attempt_sink
+                    .recv_deadline(simt::now().saturating_add(self.conf.fetch_timeout_ns))
+                {
+                    Ok(r) => r,
+                    Err(RecvError::Timeout) => {
+                        plane_failed = true;
+                        last_error = FetchError::plane("fetch attempt stalled");
+                        break;
+                    }
+                    Err(RecvError::Closed) => break,
+                };
+                let attempt_done = res.last;
+                match res.result {
+                    Ok(data) => {
+                        progressed = true;
+                        missing.retain(|b| !res.blocks.contains(b));
+                        let finished = missing.is_empty();
+                        sink.send(FetchResult {
+                            blocks: res.blocks,
+                            chunk_index: res.chunk_index,
+                            last: finished,
+                            retries: if finished { retries } else { 0 },
+                            result: Ok(data),
+                        });
+                        if finished {
+                            self.consecutive_plane_failures.store(0, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        plane_failed |= e.plane;
+                        last_error = e;
+                    }
+                }
+                if attempt_done {
+                    break;
+                }
+            }
+            // Attempt over, blocks still missing.
+            if progressed {
+                self.consecutive_plane_failures.store(0, Ordering::Relaxed);
+            }
+            if plane_failed {
+                self.note_plane_failure();
+            }
+            if retries >= self.conf.max_retries {
+                let n = missing.len();
+                for (i, b) in missing.into_iter().enumerate() {
+                    sink.send(FetchResult {
+                        blocks: vec![b],
+                        chunk_index: 0,
+                        last: i + 1 == n,
+                        retries,
+                        result: Err(last_error.clone()),
+                    });
+                }
+                return;
+            }
+            let backoff = {
+                let mut rng = self.rng.lock();
+                self.conf.policy.backoff_ns(retries, &mut rng)
+            };
+            simt::sleep(backoff);
+            retries += 1;
+            self.retries_performed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl BlockTransferService for RetryingBlockFetcher {
+    fn fetch_blocks(&self, remote: PortAddr, blocks: Vec<BlockId>, sink: Queue<FetchResult>) {
+        let inner = self.inner.clone();
+        // The controller blocks (inner fetches, backoff sleeps), so it runs
+        // on its own daemon thread; the caller returns immediately, as the
+        // trait contract requires.
+        simt::spawn_daemon("fetch-retry", move || {
+            inner.run(remote, blocks, sink);
+        });
+    }
+
+    fn close(&self) {
+        self.inner.primary.close();
+        if let Some(f) = &self.inner.fallback {
+            f.close();
+        }
     }
 }
 

@@ -72,6 +72,7 @@ impl BlockTransferService for ScriptedTransfer {
                     blocks: vec![blocks[i]],
                     chunk_index: i as u32,
                     last: i + 1 == n,
+                    retries: 0,
                     result: Ok(vec![block_for(blocks[i])]),
                 });
             }

@@ -53,6 +53,10 @@ pub struct RunOutcome<R> {
     pub result: R,
     /// Per-job metrics in submission order.
     pub jobs: Vec<JobMetrics>,
+    /// Messages the chaos plan dropped (0 without a plan).
+    pub chaos_dropped: u64,
+    /// Messages the chaos plan delayed (0 without a plan).
+    pub chaos_delayed: u64,
 }
 
 impl<R> RunOutcome<R> {
@@ -64,6 +68,11 @@ impl<R> RunOutcome<R> {
     /// Duration of job `j`'s stage whose name contains `fragment`.
     pub fn stage_ns(&self, job: usize, fragment: &str) -> u64 {
         self.jobs[job].stage_duration(fragment).unwrap_or(0)
+    }
+
+    /// Fetch re-requests summed over every stage of every job.
+    pub fn fetch_retries(&self) -> u64 {
+        self.jobs.iter().flat_map(|j| j.stages.iter()).map(|s| s.fetch_retries).sum()
     }
 }
 
@@ -89,32 +98,61 @@ impl System {
         route: Option<netz::RoutePolicy>,
         app: impl FnOnce(&SparkContext) -> R + Send + 'static,
     ) -> RunOutcome<R> {
+        self.run_inner(spec, cluster, route, None, app)
+    }
+
+    /// [`System::run`] with a seeded fault plan installed on the fabric
+    /// before any process starts. The whole run — fault schedule, retry
+    /// timing, results — is a pure function of the plan's seed.
+    pub fn run_with_chaos<R: Send + Sync + 'static>(
+        &self,
+        spec: &ClusterSpec,
+        cluster: ClusterConfig,
+        plan: fabric::FaultPlan,
+        app: impl FnOnce(&SparkContext) -> R + Send + 'static,
+    ) -> RunOutcome<R> {
+        self.run_inner(spec, cluster, None, Some(plan), app)
+    }
+
+    fn run_inner<R: Send + Sync + 'static>(
+        &self,
+        spec: &ClusterSpec,
+        cluster: ClusterConfig,
+        route: Option<netz::RoutePolicy>,
+        chaos: Option<fabric::FaultPlan>,
+        app: impl FnOnce(&SparkContext) -> R + Send + 'static,
+    ) -> RunOutcome<R> {
         let sim = Sim::new();
         let net = Net::new(spec);
+        if let Some(plan) = chaos {
+            net.install_chaos(plan);
+        }
         let out: OnceCell<(R, Vec<JobMetrics>)> = OnceCell::new();
         let out2 = out.clone();
         let system = *self;
         let interconnect = spec.interconnect.clone();
+        let conf = cluster.conf;
         let mpi_backend = move |design: Design| {
-            let mut b = mpi4spark::MpiBackend::new(design);
+            let mut b = mpi4spark::MpiBackend::with_conf(design, &conf);
             if let Some(p) = route {
                 b = b.with_route_policy(p);
             }
             Arc::new(b)
         };
+        let stats_net = net.clone();
         sim.spawn("launcher", move || {
             let r = match system {
                 System::Vanilla => sparklet::deploy::run_app(
                     &net,
                     &cluster,
-                    Arc::new(VanillaBackend::default()),
+                    Arc::new(VanillaBackend::with_conf(&conf)),
                     Arc::new(ProcessBuilderLauncher),
                     app,
                 ),
                 System::RdmaSpark => sparklet::deploy::run_app(
                     &net,
                     &cluster,
-                    Arc::new(RdmaBackend::new(&interconnect)),
+                    Arc::new(RdmaBackend::with_conf(&interconnect, &conf)),
                     Arc::new(ProcessBuilderLauncher),
                     app,
                 ),
@@ -132,8 +170,11 @@ impl System {
         });
         sim.run().expect("simulation completes").assert_clean();
         let (result, jobs) = out.try_take().expect("workload finished");
+        let stats = stats_net.stats();
+        let chaos_dropped = stats.chaos_dropped_msgs.load(std::sync::atomic::Ordering::Relaxed);
+        let chaos_delayed = stats.chaos_delayed_msgs.load(std::sync::atomic::Ordering::Relaxed);
         sim.shutdown();
-        RunOutcome { result, jobs }
+        RunOutcome { result, jobs, chaos_dropped, chaos_delayed }
     }
 }
 

@@ -14,6 +14,17 @@ echo "==> cargo build --release"
 echo "==> cargo test -q"
 "$CARGO" test -q --workspace "$@"
 
+echo "==> chaos matrix (fixed seeds)"
+"$CARGO" test -q -p sparklet --test chaos_tests "$@"
+
+# Randomized-seed smoke: every run exercises a fresh fault schedule. The
+# seed is printed up front — replaying a failure is
+# `CHAOS_SEED=<seed> scripts/ci.sh` (the whole run is a pure function of
+# the seed).
+CHAOS_SEED="${CHAOS_SEED:-$(( (RANDOM << 30) ^ (RANDOM << 15) ^ RANDOM ))}"
+echo "==> chaos smoke (randomized seed: CHAOS_SEED=$CHAOS_SEED)"
+CHAOS_SEED="$CHAOS_SEED" "$CARGO" test -q --release -p sparklet --test chaos_tests "$@" -- --ignored
+
 echo "==> cargo fmt --check"
 "$CARGO" fmt --all -- --check
 

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the stack's core invariants:
 //! codecs round-trip, partitioners cover and stay stable, shuffles preserve
-//! multisets, sorts order totally, and the virtual clock never regresses.
+//! multisets, sorts order totally, the virtual clock never regresses, and
+//! retried fetches decode identically to fault-free runs.
 
 use std::collections::HashMap;
 
@@ -156,5 +157,73 @@ proptest! {
             expect.sort_unstable();
             prop_assert_eq!(vs, expect);
         }
+    }
+}
+
+// Chaos equivalence uses even fewer cases: each runs a clean cluster to
+// measure the shuffle-read window, then a faulted one against it. The body
+// lives in a helper so the proptest macro stays within its expansion budget.
+fn chaos_equivalence_case(
+    records: Vec<(u64, u64)>,
+    chaos_seed: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use sparklet::deploy::ClusterConfig;
+    use workloads::System;
+
+    let spec = fabric::ClusterSpec::test(5);
+    let mut conf = sparklet::SparkConf::default();
+    conf.executor_cores = 4;
+    conf.cost.task_overhead_ns = 10_000;
+    conf.merge_chunks_per_request = false; // per-block chunks → per-block retry
+    conf.connect_timeout_ns = simt::time::millis(50);
+    conf.request_timeout_ns = simt::time::millis(200);
+    conf.fetch_timeout_ns = simt::time::millis(300);
+    conf.fetch_max_retries = 8;
+    conf.fetch_retry_base_ns = simt::time::millis(20);
+    conf.fetch_retry_max_ns = simt::time::millis(200);
+
+    let records2 = records.clone();
+    let app = move |sc: &sparklet::scheduler::SparkContext| {
+        let mut groups = sc.parallelize(records2.clone(), 9).group_by_key(9).collect();
+        groups.sort_by_key(|(k, _)| *k);
+        groups.iter_mut().for_each(|(_, v)| v.sort_unstable());
+        groups
+    };
+
+    let clean =
+        System::Vanilla.run(&spec, ClusterConfig::paper_layout(spec.len(), conf), app.clone());
+    let stage = clean
+        .jobs
+        .iter()
+        .flat_map(|j| j.stages.iter())
+        .find(|s| s.name == "Job0-ResultStage")
+        .expect("groupby has a result stage");
+    let (start, dur) = (stage.start_ns, (stage.end_ns - stage.start_ns).max(1_000));
+
+    // Flap every worker↔worker link across the measured shuffle-read
+    // window (workers are nodes 0-2 under the paper layout).
+    let mut plan = fabric::FaultPlan::seeded(chaos_seed);
+    for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+        plan = plan.flap_link(a, b, start, (dur / 3).max(8), (dur / 6).max(2), 6);
+    }
+    let faulted = System::Vanilla.run_with_chaos(
+        &spec,
+        ClusterConfig::paper_layout(spec.len(), conf),
+        plan.build(),
+        app,
+    );
+    prop_assert_eq!(faulted.result, clean.result);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // A fetch completed *through retries* decodes byte-identically to a
+    // fault-free run: a mid-shuffle drop window changes timing, retry
+    // counts, and message fates — never the collected data.
+    #[test]
+    fn retried_fetches_decode_identically_to_fault_free_runs(records in proptest::collection::vec((0u64..20, any::<u64>()), 50..200), chaos_seed in any::<u64>()) {
+        chaos_equivalence_case(records, chaos_seed)?;
     }
 }
