@@ -15,7 +15,7 @@
 //!   matching `MPI_Recv` — the "trigger MPI_recv calls by parsing the
 //!   headers of shuffle messages inside of ChannelHandlers" design.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -239,7 +239,7 @@ struct BasicMsg {
 /// communicator pull `BASIC_TAG` messages and dispatch them to the owning
 /// channel's endpoint.
 pub struct BasicRouter {
-    channels: Mutex<HashMap<ChannelId, (Endpoint, Arc<ChannelCore>)>>,
+    channels: Mutex<BTreeMap<ChannelId, (Endpoint, Arc<ChannelCore>)>>,
     world_started: AtomicBool,
     inter_started: AtomicBool,
     tuning: Mutex<BasicTuning>,
@@ -248,7 +248,7 @@ pub struct BasicRouter {
 impl BasicRouter {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(BasicRouter {
-            channels: Mutex::new(HashMap::new()),
+            channels: Mutex::new(BTreeMap::new()),
             world_started: AtomicBool::new(false),
             inter_started: AtomicBool::new(false),
             tuning: Mutex::new(BasicTuning::default()),

@@ -1,0 +1,77 @@
+//! CLI for the determinism lints: `cargo run -p detlint [-- --json] [ROOT]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: detlint [--json] [ROOT]\n\n\
+                     Scans every workspace crate for determinism violations (rules D1-D5).\n\
+                     ROOT defaults to the enclosing cargo workspace.\n\n\
+                     exit codes: 0 clean, 1 findings, 2 error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("detlint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => root = Some(PathBuf::from(arg)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("detlint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match detlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("detlint: no cargo workspace found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match detlint::scan_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("detlint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        if json {
+            println!("{}", d.render_json());
+        } else {
+            println!("{}", d.render());
+        }
+    }
+    if diags.is_empty() {
+        if !json {
+            eprintln!("detlint: workspace clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!("detlint: {} finding(s)", diags.len());
+        }
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixture tests: every rule fires on its known-bad snippet with the exact
+//! expected diagnostic, allow directives silence findings, and the real
+//! workspace is clean.
+
+use detlint::{scan_source, scan_workspace, Diagnostic, FileOrigin};
+
+fn origin(crate_name: &str) -> FileOrigin {
+    FileOrigin { crate_name: crate_name.to_string(), rel_path: "src/fixture.rs".to_string() }
+}
+
+fn scan(crate_name: &str, src: &str) -> Vec<(usize, String, String)> {
+    scan_source("fixture.rs", &origin(crate_name), src)
+        .into_iter()
+        .map(|d| (d.line, d.rule, d.message))
+        .collect()
+}
+
+#[test]
+fn d1_flags_wall_clock_time() {
+    let src = include_str!("fixtures/d1_wall_clock.rs");
+    assert_eq!(
+        scan("netz", src),
+        vec![(
+            4,
+            "D1".to_string(),
+            "wall-clock `std::time::Instant` in simulated code; use `simt::now()` / \
+             `simt::time` so timings replay under a seed"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn d1_is_waived_inside_simt() {
+    let src = include_str!("fixtures/d1_wall_clock.rs");
+    assert_eq!(scan("simt", src), vec![], "simt itself owns the clock");
+}
+
+#[test]
+fn d2_flags_os_threads() {
+    let src = include_str!("fixtures/d2_os_thread.rs");
+    assert_eq!(
+        scan("netz", src),
+        vec![(
+            4,
+            "D2".to_string(),
+            "OS thread API `std::thread::spawn` outside the simt engine; use `simt::spawn` \
+             so the scheduler stays deterministic"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn d2_is_waived_in_engine_but_not_elsewhere_in_simt() {
+    let src = include_str!("fixtures/d2_os_thread.rs");
+    let engine =
+        FileOrigin { crate_name: "simt".to_string(), rel_path: "src/engine.rs".to_string() };
+    assert_eq!(scan_source("engine.rs", &engine, src), vec![]);
+    assert_eq!(scan("simt", src).len(), 1, "simt code outside the engine still obeys D2");
+}
+
+#[test]
+fn d3_flags_os_entropy() {
+    let src = include_str!("fixtures/d3_entropy.rs");
+    assert_eq!(
+        scan("workloads", src),
+        vec![
+            (
+                4,
+                "D3".to_string(),
+                "OS-entropy source `thread_rng`; all randomness must derive from the run \
+                 seed — use `simt::SeededRng`"
+                    .to_string()
+            ),
+            (
+                5,
+                "D3".to_string(),
+                "`rand` crate in simulated code; prefer `simt::SeededRng`, or annotate the \
+                 seeded use with `// detlint: allow(D3, reason = \"...\")`"
+                    .to_string()
+            ),
+        ]
+    );
+}
+
+#[test]
+fn d4_flags_hash_iteration_on_message_path_only() {
+    let src = include_str!("fixtures/d4_hash_iter.rs");
+    assert_eq!(
+        scan("netz", src),
+        vec![(
+            11,
+            "D4".to_string(),
+            "`.values()` over hash collection `routes` on the message path: iteration \
+             order is nondeterministic and leaks into message/scheduling order; use \
+             `BTreeMap`/`BTreeSet` or a sorted collect"
+                .to_string()
+        )]
+    );
+    assert_eq!(scan("workloads", src), vec![], "D4 only guards the message-path crates");
+}
+
+#[test]
+fn d5_flags_blocking_with_guard_held() {
+    let src = include_str!("fixtures/d5_guard_across_block.rs");
+    assert_eq!(
+        scan("sparklet", src),
+        vec![(
+            5,
+            "D5".to_string(),
+            "blocking call `.recv()` while lock guard `held` (line 4) still held: the \
+             engine reschedules here, inviting lost wakeups and deadlock; drop the guard \
+             (scope it or `drop()`) before blocking"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn allow_directives_with_reason_silence_findings() {
+    let src = include_str!("fixtures/allowed.rs");
+    assert_eq!(scan("netz", src), vec![]);
+}
+
+#[test]
+fn allow_directive_without_reason_is_a_finding() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let diags = scan("netz", src);
+    assert_eq!(diags.len(), 2, "the bad directive and the unwaived D1 both fire: {diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (4, "D1"));
+    assert_eq!(diags[1].0, 4);
+    assert_eq!(diags[1].1, "allow");
+    assert!(diags[1].2.contains("must name a rule and a reason"), "{}", diags[1].2);
+}
+
+#[test]
+fn code_under_cfg_test_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    pub fn t() {\n        \
+               let _ = std::time::Instant::now();\n    }\n}\n";
+    assert_eq!(scan("netz", src), vec![]);
+}
+
+#[test]
+fn strings_and_comments_never_match() {
+    let src = "pub fn doc() -> &'static str {\n    // std::thread::spawn is banned\n    \
+               \"std::time::Instant::now()\"\n}\n";
+    assert_eq!(scan("netz", src), vec![]);
+}
+
+#[test]
+fn render_formats_are_stable() {
+    let d = Diagnostic {
+        path: "crates/x/src/a.rs".to_string(),
+        line: 7,
+        rule: "D1".to_string(),
+        message: "msg".to_string(),
+    };
+    assert_eq!(d.render(), "crates/x/src/a.rs:7: D1: msg");
+    assert_eq!(
+        d.render_json(),
+        "{\"path\":\"crates/x/src/a.rs\",\"line\":7,\"rule\":\"D1\",\"message\":\"msg\"}"
+    );
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let diags = scan_workspace(root).expect("workspace scan");
+    let rendered: Vec<String> = diags.iter().map(Diagnostic::render).collect();
+    assert!(rendered.is_empty(), "determinism lints must hold:\n{}", rendered.join("\n"));
+}

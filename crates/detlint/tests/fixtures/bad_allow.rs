@@ -1,0 +1,5 @@
+//! Fixture: an allow directive without a reason is itself a finding.
+
+pub fn stamp() {
+    let _ = std::time::Instant::now(); // detlint: allow(D1)
+}

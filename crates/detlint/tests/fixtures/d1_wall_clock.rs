@@ -1,0 +1,6 @@
+//! Fixture: rule D1 — wall-clock time in simulated code.
+
+pub fn elapsed() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

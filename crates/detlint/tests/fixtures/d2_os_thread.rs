@@ -1,0 +1,5 @@
+//! Fixture: rule D2 — OS thread API outside the simt engine.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+//! Fixture: rule D3 — OS entropy in simulated code.
+
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

@@ -1,0 +1,13 @@
+//! Fixture: rule D4 — hash-order iteration on the message path.
+
+use std::collections::HashMap;
+
+pub struct Router {
+    routes: HashMap<u64, String>,
+}
+
+impl Router {
+    pub fn names(&self) -> Vec<String> {
+        self.routes.values().cloned().collect()
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: rule D5 — blocking while a lock guard is held.
+
+pub fn drain(q: &simt::queue::Queue<u64>, state: &parking_lot::Mutex<Vec<u64>>) {
+    let mut held = state.lock();
+    let v = q.recv().unwrap();
+    held.push(v);
+}

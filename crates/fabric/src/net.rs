@@ -5,7 +5,7 @@
 //! links, so a shuffle's all-to-all traffic exhibits realistic incast
 //! serialization regardless of which transport issues it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -101,7 +101,7 @@ pub struct NetStats {
 struct NetInner {
     wire: Wire,
     nodes: Vec<NodeRt>,
-    ports: Mutex<HashMap<PortAddr, Queue<Packet>>>,
+    ports: Mutex<BTreeMap<PortAddr, Queue<Packet>>>,
     next_auto_port: AtomicU64,
     stats: NetStats,
     /// Fault-injection schedule consulted on every send (None = healthy).
@@ -140,7 +140,7 @@ impl Net {
             inner: Arc::new(NetInner {
                 wire: cluster.interconnect.wire,
                 nodes,
-                ports: Mutex::new(HashMap::new()),
+                ports: Mutex::new(BTreeMap::new()),
                 next_auto_port: AtomicU64::new(AUTO_PORT_BASE),
                 stats: NetStats::default(),
                 chaos: Mutex::new(None),

@@ -7,7 +7,7 @@
 //! channel maps to are captured in its peer [`Handshake`], recorded during
 //! connection establishment exactly as the paper does.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,20 +57,21 @@ pub type ResponseCallback = Box<dyn FnOnce(Result<Payload, NetzError>) + Send>;
 
 #[derive(Default)]
 pub(crate) struct PendingResponses {
-    pub rpcs: HashMap<u64, ResponseCallback>,
-    pub chunks: HashMap<(u64, u32), ResponseCallback>,
+    pub rpcs: BTreeMap<u64, ResponseCallback>,
+    pub chunks: BTreeMap<(u64, u32), ResponseCallback>,
     /// Streams are keyed by name, and several requests for the *same* name
     /// may be outstanding on one channel (e.g. task slots racing to fetch
     /// one broadcast); responses complete them FIFO.
-    pub streams: HashMap<String, std::collections::VecDeque<ResponseCallback>>,
+    pub streams: BTreeMap<String, std::collections::VecDeque<ResponseCallback>>,
 }
 
 impl PendingResponses {
     fn drain(&mut self) -> Vec<ResponseCallback> {
+        // BTreeMap iteration: callbacks fail in key order, deterministically.
         let mut all: Vec<ResponseCallback> = Vec::new();
-        all.extend(self.rpcs.drain().map(|(_, cb)| cb));
-        all.extend(self.chunks.drain().map(|(_, cb)| cb));
-        all.extend(self.streams.drain().flat_map(|(_, q)| q));
+        all.extend(std::mem::take(&mut self.rpcs).into_values());
+        all.extend(std::mem::take(&mut self.chunks).into_values());
+        all.extend(std::mem::take(&mut self.streams).into_values().flatten());
         all
     }
 }

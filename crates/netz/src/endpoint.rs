@@ -7,7 +7,7 @@
 //! all of this endpoint's sockets — then decodes and dispatches the frame on
 //! the loop thread, exactly like a Netty event loop running its pipeline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fabric::{Net, NodeId, Packet, Payload, PortAddr};
@@ -34,8 +34,8 @@ pub(crate) struct EndpointInner {
     pub conf: TransportConf,
     pub handler: Arc<dyn RpcHandler>,
     pub transport: Arc<dyn Transport>,
-    channels: Mutex<HashMap<ChannelId, Arc<ChannelCore>>>,
-    pending_connects: Mutex<HashMap<ChannelId, OnceCell<Result<Arc<ChannelCore>, NetzError>>>>,
+    channels: Mutex<BTreeMap<ChannelId, Arc<ChannelCore>>>,
+    pending_connects: Mutex<BTreeMap<ChannelId, OnceCell<Result<Arc<ChannelCore>, NetzError>>>>,
     accepting: Mutex<bool>,
 }
 
@@ -70,8 +70,8 @@ impl Endpoint {
             conf,
             handler,
             transport,
-            channels: Mutex::new(HashMap::new()),
-            pending_connects: Mutex::new(HashMap::new()),
+            channels: Mutex::new(BTreeMap::new()),
+            pending_connects: Mutex::new(BTreeMap::new()),
             accepting: Mutex::new(true),
         });
         let ep = Endpoint { inner: inner.clone() };
@@ -184,7 +184,8 @@ impl Endpoint {
     /// event loop).
     pub fn shutdown(&self) {
         *self.inner.accepting.lock() = false;
-        let chans: Vec<_> = self.inner.channels.lock().drain().map(|(_, c)| c).collect();
+        let chans: Vec<_> =
+            std::mem::take(&mut *self.inner.channels.lock()).into_values().collect();
         for c in chans {
             c.close();
         }

@@ -7,7 +7,7 @@
 //! tag)` — messages that arrive before a matching receive wait in the store,
 //! exactly like MPI's unexpected message queue.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fabric::{Net, NodeId, Payload, PortAddr};
@@ -208,7 +208,7 @@ pub struct ProcState {
     pub store: MsgStore,
     /// Per-communicator collective sequence numbers (tags for collective
     /// rounds; one collective at a time per communicator, as MPI requires).
-    pub coll_seq: Mutex<HashMap<CommId, u64>>,
+    pub coll_seq: Mutex<BTreeMap<CommId, u64>>,
 }
 
 /// Spawn the progress pump for a process: drains its mailbox port into the
@@ -235,13 +235,13 @@ pub struct UniverseState {
     /// Software stack for all MPI traffic.
     pub stack: fabric::StackModel,
     /// Registered processes.
-    pub procs: Mutex<HashMap<ProcId, Arc<ProcState>>>,
+    pub procs: Mutex<BTreeMap<ProcId, Arc<ProcState>>>,
     /// Registered communicators.
-    pub comms: Mutex<HashMap<CommId, Arc<CommInfo>>>,
+    pub comms: Mutex<BTreeMap<CommId, Arc<CommInfo>>>,
     /// `proc -> parent intercommunicator` (set by DPM spawn).
-    pub parents: Mutex<HashMap<ProcId, CommId>>,
+    pub parents: Mutex<BTreeMap<ProcId, CommId>>,
     /// Named ports for `comm_accept`/`comm_connect`.
-    pub named_ports: Mutex<HashMap<String, simt::queue::Queue<crate::connect::ConnRequest>>>,
+    pub named_ports: Mutex<BTreeMap<String, simt::queue::Queue<crate::connect::ConnRequest>>>,
     /// Next ids.
     pub next_proc: std::sync::atomic::AtomicU64,
     /// Next communicator id.

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod cpu;
+pub(crate) mod diag;
 pub mod engine;
 mod gate;
 pub mod queue;

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::diag::{self, DiagRes};
 use crate::engine::{park, wait_token, WaitToken};
 
 /// Error returned by receive operations.
@@ -39,11 +40,12 @@ struct QState<T> {
 /// A blocking FIFO queue between green threads.
 pub struct Queue<T> {
     state: Arc<Mutex<QState<T>>>,
+    res: Arc<DiagRes>,
 }
 
 impl<T> Clone for Queue<T> {
     fn clone(&self) -> Self {
-        Queue { state: self.state.clone() }
+        Queue { state: self.state.clone(), res: self.res.clone() }
     }
 }
 
@@ -62,6 +64,20 @@ impl<T> Queue<T> {
                 waiters: Vec::new(),
                 closed: false,
             })),
+            res: Arc::new(DiagRes::new("queue", None)),
+        }
+    }
+
+    /// Like [`new`](Queue::new), with a display name used by the deadlock
+    /// diagnoser when a receiver is blocked on this queue.
+    pub fn named(name: impl Into<String>) -> Self {
+        Queue {
+            state: Arc::new(Mutex::new(QState {
+                items: VecDeque::new(),
+                waiters: Vec::new(),
+                closed: false,
+            })),
+            res: Arc::new(DiagRes::new("queue", Some(name.into()))),
         }
     }
 
@@ -90,16 +106,29 @@ impl<T> Queue<T> {
     /// Blocking receive; returns `Err(Closed)` once the queue is closed and
     /// drained.
     pub fn recv(&self) -> Result<T, RecvError> {
+        let mut waited = false;
+        let finish = |waited: bool, r: Result<T, RecvError>| {
+            if waited {
+                diag::on_wait_end();
+            }
+            r
+        };
         loop {
             {
                 let mut s = self.state.lock();
                 if let Some(item) = s.items.pop_front() {
-                    return Ok(item);
+                    drop(s);
+                    return finish(waited, Ok(item));
                 }
                 if s.closed {
-                    return Err(RecvError::Closed);
+                    drop(s);
+                    return finish(waited, Err(RecvError::Closed));
                 }
                 s.waiters.push(wait_token());
+            }
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
             }
             park();
         }
@@ -107,23 +136,37 @@ impl<T> Queue<T> {
 
     /// Blocking receive with an absolute virtual-time deadline.
     pub fn recv_deadline(&self, deadline: u64) -> Result<T, RecvError> {
+        let mut waited = false;
+        let finish = |waited: bool, r: Result<T, RecvError>| {
+            if waited {
+                diag::on_wait_end();
+            }
+            r
+        };
         loop {
             let tok = {
                 let mut s = self.state.lock();
                 if let Some(item) = s.items.pop_front() {
-                    return Ok(item);
+                    drop(s);
+                    return finish(waited, Ok(item));
                 }
                 if s.closed {
-                    return Err(RecvError::Closed);
+                    drop(s);
+                    return finish(waited, Err(RecvError::Closed));
                 }
                 if crate::now() >= deadline {
-                    return Err(RecvError::Timeout);
+                    drop(s);
+                    return finish(waited, Err(RecvError::Timeout));
                 }
                 let tok = wait_token();
                 s.waiters.push(tok.clone());
                 tok
             };
             tok.wake_at(deadline);
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
+            }
             park();
         }
     }

@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::diag::{self, DiagRes};
 use crate::engine::{park, wait_token, WaitToken};
 
 /// A counting semaphore. Used e.g. to bound in-flight shuffle fetches.
 pub struct Semaphore {
     state: Arc<Mutex<SemState>>,
+    res: Arc<DiagRes>,
 }
 
 struct SemState {
@@ -18,26 +20,48 @@ struct SemState {
 
 impl Clone for Semaphore {
     fn clone(&self) -> Self {
-        Semaphore { state: self.state.clone() }
+        Semaphore { state: self.state.clone(), res: self.res.clone() }
     }
 }
 
 impl Semaphore {
     /// Create a semaphore with `permits` initial permits.
     pub fn new(permits: u64) -> Self {
-        Semaphore { state: Arc::new(Mutex::new(SemState { permits, waiters: Vec::new() })) }
+        Semaphore {
+            state: Arc::new(Mutex::new(SemState { permits, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("sem", None)),
+        }
+    }
+
+    /// Like [`new`](Semaphore::new), with a display name used by the
+    /// deadlock diagnoser's wait-for graph.
+    pub fn named(name: impl Into<String>, permits: u64) -> Self {
+        Semaphore {
+            state: Arc::new(Mutex::new(SemState { permits, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("sem", Some(name.into()))),
+        }
     }
 
     /// Acquire `n` permits, blocking until available.
     pub fn acquire(&self, n: u64) {
+        let mut waited = false;
         loop {
             {
                 let mut s = self.state.lock();
                 if s.permits >= n {
                     s.permits -= n;
+                    drop(s);
+                    if waited {
+                        diag::on_wait_end();
+                    }
+                    diag::on_acquire(&self.res);
                     return;
                 }
                 s.waiters.push(wait_token());
+            }
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
             }
             park();
         }
@@ -45,6 +69,7 @@ impl Semaphore {
 
     /// Release `n` permits and wake waiters.
     pub fn release(&self, n: u64) {
+        diag::on_release(&self.res);
         let waiters = {
             let mut s = self.state.lock();
             s.permits += n;
@@ -65,6 +90,7 @@ impl Semaphore {
 /// sticky "set" state consumed by waiters).
 pub struct Notify {
     state: Arc<Mutex<NotifyState>>,
+    res: Arc<DiagRes>,
 }
 
 struct NotifyState {
@@ -74,7 +100,7 @@ struct NotifyState {
 
 impl Clone for Notify {
     fn clone(&self) -> Self {
-        Notify { state: self.state.clone() }
+        Notify { state: self.state.clone(), res: self.res.clone() }
     }
 }
 
@@ -87,7 +113,18 @@ impl Default for Notify {
 impl Notify {
     /// New, unset.
     pub fn new() -> Self {
-        Notify { state: Arc::new(Mutex::new(NotifyState { set: false, waiters: Vec::new() })) }
+        Notify {
+            state: Arc::new(Mutex::new(NotifyState { set: false, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("notify", None)),
+        }
+    }
+
+    /// Like [`new`](Notify::new), with a display name for diagnostics.
+    pub fn named(name: impl Into<String>) -> Self {
+        Notify {
+            state: Arc::new(Mutex::new(NotifyState { set: false, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("notify", Some(name.into()))),
+        }
     }
 
     /// Set the flag and wake all waiters.
@@ -104,14 +141,23 @@ impl Notify {
 
     /// Block until the flag is set, then consume it.
     pub fn wait(&self) {
+        let mut waited = false;
         loop {
             {
                 let mut s = self.state.lock();
                 if s.set {
                     s.set = false;
+                    drop(s);
+                    if waited {
+                        diag::on_wait_end();
+                    }
                     return;
                 }
                 s.waiters.push(wait_token());
+            }
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
             }
             park();
         }
@@ -122,6 +168,7 @@ impl Notify {
 /// This is the simulation's `oneshot` channel, used for RPC reply futures.
 pub struct OnceCell<T> {
     state: Arc<Mutex<OnceState<T>>>,
+    res: Arc<DiagRes>,
 }
 
 struct OnceState<T> {
@@ -131,7 +178,7 @@ struct OnceState<T> {
 
 impl<T> Clone for OnceCell<T> {
     fn clone(&self) -> Self {
-        OnceCell { state: self.state.clone() }
+        OnceCell { state: self.state.clone(), res: self.res.clone() }
     }
 }
 
@@ -144,7 +191,18 @@ impl<T> Default for OnceCell<T> {
 impl<T> OnceCell<T> {
     /// New, empty.
     pub fn new() -> Self {
-        OnceCell { state: Arc::new(Mutex::new(OnceState { value: None, waiters: Vec::new() })) }
+        OnceCell {
+            state: Arc::new(Mutex::new(OnceState { value: None, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("once", None)),
+        }
+    }
+
+    /// Like [`new`](OnceCell::new), with a display name for diagnostics.
+    pub fn named(name: impl Into<String>) -> Self {
+        OnceCell {
+            state: Arc::new(Mutex::new(OnceState { value: None, waiters: Vec::new() })),
+            res: Arc::new(DiagRes::new("once", Some(name.into()))),
+        }
     }
 
     /// Store the value (first write wins) and wake waiters.
@@ -164,13 +222,22 @@ impl<T> OnceCell<T> {
     /// Block until a value is stored, then take it. Only one caller obtains
     /// the value.
     pub fn take(&self) -> T {
+        let mut waited = false;
         loop {
             {
                 let mut s = self.state.lock();
                 if let Some(v) = s.value.take() {
+                    drop(s);
+                    if waited {
+                        diag::on_wait_end();
+                    }
                     return v;
                 }
                 s.waiters.push(wait_token());
+            }
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
             }
             park();
         }
@@ -179,20 +246,33 @@ impl<T> OnceCell<T> {
     /// Block until a value is stored or the relative timeout (ns) passes.
     pub fn take_timeout(&self, timeout: u64) -> Option<T> {
         let deadline = crate::now().saturating_add(timeout);
+        let mut waited = false;
+        let finish = |waited: bool, v: Option<T>| {
+            if waited {
+                diag::on_wait_end();
+            }
+            v
+        };
         loop {
             let tok = {
                 let mut s = self.state.lock();
                 if let Some(v) = s.value.take() {
-                    return Some(v);
+                    drop(s);
+                    return finish(waited, Some(v));
                 }
                 if crate::now() >= deadline {
-                    return None;
+                    drop(s);
+                    return finish(waited, None);
                 }
                 let tok = wait_token();
                 s.waiters.push(tok.clone());
                 tok
             };
             tok.wake_at(deadline);
+            if !waited {
+                diag::on_wait(&self.res);
+                waited = true;
+            }
             park();
         }
     }

@@ -5,7 +5,7 @@
 //! the body travels via MPI, §VI-E) and caches it for every later task.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -18,7 +18,7 @@ use crate::task::TaskContext;
 /// environment's stream manager.
 #[derive(Default)]
 pub struct BroadcastRegistry {
-    values: Mutex<HashMap<u64, Payload>>,
+    values: Mutex<BTreeMap<u64, Payload>>,
     next_id: AtomicU64,
 }
 

@@ -8,7 +8,7 @@
 pub mod ops;
 pub mod partitioner;
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -147,7 +147,7 @@ impl<T: Element> Clone for Rdd<T> {
 pub fn topo_shuffle_deps(direct: Vec<Arc<dyn ShuffleDepMeta>>) -> Vec<Arc<dyn ShuffleDepMeta>> {
     fn visit(
         dep: Arc<dyn ShuffleDepMeta>,
-        seen: &mut HashSet<u32>,
+        seen: &mut BTreeSet<u32>,
         out: &mut Vec<Arc<dyn ShuffleDepMeta>>,
     ) {
         if !seen.insert(dep.shuffle_id()) {
@@ -158,7 +158,7 @@ pub fn topo_shuffle_deps(direct: Vec<Arc<dyn ShuffleDepMeta>>) -> Vec<Arc<dyn Sh
         }
         out.push(dep);
     }
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut out = Vec::new();
     for d in direct {
         visit(d, &mut seen, &mut out);
@@ -324,7 +324,7 @@ impl<T: Element> Rdd<T> {
 
 impl<K, V> Rdd<(K, V)>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     V: Element,
 {
     fn shuffle_to<M: Element, U: Element>(
@@ -482,7 +482,7 @@ where
     }
 }
 
-impl<T: Element + Hash + Eq> Rdd<T> {
+impl<T: Element + Hash + Eq + Ord> Rdd<T> {
     /// Remove duplicate records (shuffle on the record itself).
     pub fn distinct(&self, parts: usize) -> Rdd<T> {
         self.map(|x| (x, 1u8)).reduce_by_key(parts, |a, _| a).map(|(x, _)| x)
@@ -491,7 +491,7 @@ impl<T: Element + Hash + Eq> Rdd<T> {
 
 impl<K, V> Rdd<(K, V)>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     V: Element,
 {
     /// Count records per key at the driver.

@@ -176,7 +176,7 @@ impl<T: Element> RddOps<T> for UnionRdd<T> {
 /// A shuffle dependency: map-side records `(K, M)` partitioned by `K`.
 pub struct ShuffleDep<K, M>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
 {
     /// The shuffle's id.
@@ -194,7 +194,7 @@ where
 /// Map task for one `ShuffleDep` partition.
 struct ShuffleMapTask<K, M>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
 {
     dep: Arc<ShuffleDep<K, M>>,
@@ -203,7 +203,7 @@ where
 
 impl<K, M> TaskRunner for ShuffleMapTask<K, M>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
 {
     fn run(&self, ctx: &TaskContext) -> TaskOutput {
@@ -226,7 +226,7 @@ where
 
 impl<K, M> ShuffleDepMeta for ShuffleDep<K, M>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
 {
     fn shuffle_id(&self) -> u32 {
@@ -251,7 +251,7 @@ where
 /// registered in lineage nodes; reconstruct a cheap Arc by cloning fields.
 fn self_arc<K, M>(dep: &ShuffleDep<K, M>) -> Arc<ShuffleDep<K, M>>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
 {
     Arc::new(ShuffleDep {
@@ -266,7 +266,7 @@ where
 /// Reduce-side node: reads the shuffle and applies `post`.
 pub struct ShuffleReadRdd<K, M, U>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
     U: Element,
 {
@@ -280,7 +280,7 @@ where
 
 impl<K, M, U> RddOps<U> for ShuffleReadRdd<K, M, U>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     M: Element,
     U: Element,
 {
@@ -302,7 +302,7 @@ where
 /// Two-input co-group node.
 pub struct CoGroupRdd<K, V, W>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     V: Element,
     W: Element,
 {
@@ -316,7 +316,7 @@ where
 
 impl<K, V, W> RddOps<(K, (Vec<V>, Vec<W>))> for CoGroupRdd<K, V, W>
 where
-    K: Element + Hash + Eq,
+    K: Element + Hash + Eq + Ord,
     V: Element,
     W: Element,
 {
@@ -327,11 +327,11 @@ where
         self.dep_a.partitioner.num_partitions()
     }
     fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<(K, (Vec<V>, Vec<W>))> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let a = read_shuffle::<(K, V)>(ctx, self.dep_a.shuffle_id, part as u32);
         let b = read_shuffle::<(K, W)>(ctx, self.dep_b.shuffle_id, part as u32);
         ctx.charge(ctx.cost().group((a.len() + b.len()) as u64, 0));
-        let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+        let mut table: BTreeMap<K, (Vec<V>, Vec<W>)> = BTreeMap::new();
         for (k, v) in a {
             table.entry(k).or_default().0.push(v);
         }

@@ -7,7 +7,7 @@
 //! handling a registration) without stalling the Netty event loop.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fabric::{Net, NodeId, Payload, PortAddr};
@@ -44,7 +44,7 @@ struct Inbound {
 }
 
 struct EnvHandler {
-    endpoints: Arc<Mutex<HashMap<String, Queue<Inbound>>>>,
+    endpoints: Arc<Mutex<BTreeMap<String, Queue<Inbound>>>>,
     streams: Arc<Mutex<Option<Arc<dyn netz::StreamManager>>>>,
 }
 
@@ -91,9 +91,9 @@ impl netz::RpcHandler for EnvHandler {
 /// One process's RPC environment.
 pub struct RpcEnv {
     server: netz::Endpoint,
-    endpoints: Arc<Mutex<HashMap<String, Queue<Inbound>>>>,
+    endpoints: Arc<Mutex<BTreeMap<String, Queue<Inbound>>>>,
     streams: Arc<Mutex<Option<Arc<dyn netz::StreamManager>>>>,
-    clients: Mutex<HashMap<PortAddr, TransportClient>>,
+    clients: Mutex<BTreeMap<PortAddr, TransportClient>>,
     conf: TransportConf,
     name: String,
 }
@@ -108,7 +108,7 @@ impl RpcEnv {
         backend: &Arc<dyn NetworkBackend>,
         port: Option<u64>,
     ) -> Arc<RpcEnv> {
-        let endpoints: Arc<Mutex<HashMap<String, Queue<Inbound>>>> = Arc::default();
+        let endpoints: Arc<Mutex<BTreeMap<String, Queue<Inbound>>>> = Arc::default();
         let streams: Arc<Mutex<Option<Arc<dyn netz::StreamManager>>>> = Arc::default();
         let handler =
             Arc::new(EnvHandler { endpoints: endpoints.clone(), streams: streams.clone() });
@@ -123,7 +123,7 @@ impl RpcEnv {
             server,
             endpoints,
             streams,
-            clients: Mutex::new(HashMap::new()),
+            clients: Mutex::new(BTreeMap::new()),
             conf,
             name,
         })
@@ -195,7 +195,7 @@ impl RpcEnv {
 
     /// Tear down outgoing connections and the server endpoint.
     pub fn shutdown(&self) {
-        for (_, c) in self.clients.lock().drain() {
+        for c in std::mem::take(&mut *self.clients.lock()).into_values() {
             c.close();
         }
         let names: Vec<String> = self.endpoints.lock().keys().cloned().collect();

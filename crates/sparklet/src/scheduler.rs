@@ -9,7 +9,7 @@
 //! and cache-friendly (a cached partition is always recomputed on the
 //! executor that cached it), standing in for Spark's locality preferences.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -160,10 +160,10 @@ pub struct DagScheduler {
     metrics: Mutex<Vec<JobMetrics>>,
     next_job: AtomicU32,
     next_stage_seq: AtomicU64,
-    computed_shuffles: Mutex<HashSet<u32>>,
+    computed_shuffles: Mutex<BTreeSet<u32>>,
     /// Executors whose shuffle service failed a fetch; excluded from task
     /// placement so recomputed map outputs land on healthy executors.
-    quarantined: Mutex<HashSet<usize>>,
+    quarantined: Mutex<BTreeSet<usize>>,
     job_running: AtomicBool,
 }
 
@@ -184,8 +184,8 @@ impl DagScheduler {
             metrics: Mutex::new(Vec::new()),
             next_job: AtomicU32::new(0),
             next_stage_seq: AtomicU64::new(0),
-            computed_shuffles: Mutex::new(HashSet::new()),
-            quarantined: Mutex::new(HashSet::new()),
+            computed_shuffles: Mutex::new(BTreeSet::new()),
+            quarantined: Mutex::new(BTreeSet::new()),
             job_running: AtomicBool::new(false),
         }
     }
@@ -348,8 +348,8 @@ impl JobRunner for DagScheduler {
             let (sm, outputs) =
                 self.run_stage(format!("Job{job_id}-ResultStage"), std::mem::take(&mut pending));
             stages.push(sm);
-            let mut failed_execs: HashSet<usize> = HashSet::new();
-            let mut failed_shuffles: HashSet<u32> = HashSet::new();
+            let mut failed_execs: BTreeSet<usize> = BTreeSet::new();
+            let mut failed_shuffles: BTreeSet<u32> = BTreeSet::new();
             let mut retry_parts: Vec<usize> = Vec::new();
             for (part, out) in outputs {
                 match out {

@@ -7,7 +7,7 @@
 //! `BlockManager`, and fetches remote blocks through the
 //! `BlockTransferService` with `maxBytesInFlight` batching.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -58,7 +58,7 @@ pub struct GetMapOutputs {
 /// Driver-side map output registry (Spark's `MapOutputTrackerMaster`).
 #[derive(Default)]
 pub struct MapOutputTrackerMaster {
-    outputs: Mutex<HashMap<u32, Vec<Option<MapStatus>>>>,
+    outputs: Mutex<BTreeMap<u32, Vec<Option<MapStatus>>>>,
 }
 
 impl MapOutputTrackerMaster {
@@ -128,7 +128,7 @@ impl RpcEndpoint for MapOutputTrackerMaster {
 #[derive(Clone)]
 pub struct MapOutputClient {
     tracker: RpcRef,
-    cache: Arc<Mutex<HashMap<u32, Arc<Vec<MapStatus>>>>>,
+    cache: Arc<Mutex<BTreeMap<u32, Arc<Vec<MapStatus>>>>>,
 }
 
 impl MapOutputClient {
@@ -217,7 +217,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
 
     // Split local vs remote, grouping remote blocks per serving executor.
     let mut local: Vec<BlockId> = Vec::new();
-    let mut remote: HashMap<usize, (PortAddr, Vec<(BlockId, u64)>)> = HashMap::new();
+    let mut remote: BTreeMap<usize, (PortAddr, Vec<(BlockId, u64)>)> = BTreeMap::new();
     for st in statuses.iter() {
         let size = st.sizes[reduce_id as usize];
         if st.records[reduce_id as usize] == 0 && size == 0 {
@@ -244,9 +244,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         bytes: u64,
     }
     let mut requests: Vec<Request> = Vec::new();
-    // Deterministic order: by executor id.
-    let mut remote: Vec<_> = remote.into_iter().collect();
-    remote.sort_by_key(|(e, _)| *e);
+    // BTreeMap iteration is already ordered by executor id — deterministic.
     for (exec_id, (addr, blocks)) in remote {
         let mut cur = Request { addr, exec_id, blocks: Vec::new(), bytes: 0 };
         for (id, size) in blocks {
@@ -264,7 +262,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         }
     }
     // Block id -> serving executor, for failure attribution.
-    let exec_of: HashMap<BlockId, usize> =
+    let exec_of: BTreeMap<BlockId, usize> =
         requests.iter().flat_map(|r| r.blocks.iter().map(move |b| (*b, r.exec_id))).collect();
 
     let mut out: Vec<T> = Vec::new();
@@ -352,14 +350,14 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
 
 /// Group `(K, V)` records into `(K, Vec<V>)` with hash-aggregation costs
 /// charged (reduce side of `groupByKey`).
-pub fn group_pairs<K: Element + Hash + Eq, V: Element>(
+pub fn group_pairs<K: Element + Hash + Eq + Ord, V: Element>(
     ctx: &TaskContext,
     pairs: Vec<(K, V)>,
 ) -> Vec<(K, Vec<V>)> {
     let n = pairs.len() as u64;
     let bytes: u64 = pairs.iter().map(|p| p.1.virtual_size()).sum();
     ctx.charge(ctx.cost().group(n, bytes));
-    let mut map: HashMap<K, Vec<V>> = HashMap::new();
+    let mut map: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for (k, v) in pairs {
         map.entry(k).or_default().push(v);
     }

@@ -8,7 +8,7 @@
 //! reads (paper Fig. 10 stage naming).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -60,10 +60,10 @@ pub struct StoredBlock {
 
 /// Per-executor block store.
 pub struct BlockManager {
-    blocks: Mutex<HashMap<BlockId, StoredBlock>>,
+    blocks: Mutex<BTreeMap<BlockId, StoredBlock>>,
     /// Typed in-memory cache for `Rdd::cache()` partitions: values are
     /// `Arc<Vec<T>>` behind `Any`.
-    cache: Mutex<HashMap<(u64, u32), Arc<dyn Any + Send + Sync>>>,
+    cache: Mutex<BTreeMap<(u64, u32), Arc<dyn Any + Send + Sync>>>,
     stored_virtual: Mutex<u64>,
     capacity_virtual: u64,
 }
@@ -72,8 +72,8 @@ impl BlockManager {
     /// A block manager with `capacity_gb` GiB of virtual capacity.
     pub fn new(capacity_gb: u32) -> Self {
         BlockManager {
-            blocks: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
+            blocks: Mutex::new(BTreeMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
             stored_virtual: Mutex::new(0),
             capacity_virtual: u64::from(capacity_gb) << 30,
         }

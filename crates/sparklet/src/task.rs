@@ -2,7 +2,7 @@
 //! running tasks, and per-task metrics.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fabric::{Net, Payload, PortAddr};
@@ -41,7 +41,7 @@ pub struct ExecutorServices {
     /// The driver's environment address.
     pub driver_addr: PortAddr,
     /// Executor-local cache of fetched broadcast values.
-    pub broadcast_cache: Mutex<HashMap<u64, BroadcastSlot>>,
+    pub broadcast_cache: Mutex<BTreeMap<u64, BroadcastSlot>>,
 }
 
 /// State of one broadcast id on an executor.

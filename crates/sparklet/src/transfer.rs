@@ -8,7 +8,7 @@
 //! answers with `ChunkFetchSuccess` messages carrying the block data — the
 //! message type whose body MPI4Spark-Optimized routes over MPI.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -154,7 +154,7 @@ struct StreamState {
 /// over the executor's block manager.
 pub struct ShuffleService {
     block_manager: Arc<BlockManager>,
-    streams: Mutex<HashMap<u64, StreamState>>,
+    streams: Mutex<BTreeMap<u64, StreamState>>,
     next_stream: AtomicU64,
     conf: SparkConf,
     /// Served-bytes counter (reports).
@@ -173,7 +173,7 @@ impl ShuffleService {
     ) -> (Arc<ShuffleService>, netz::Endpoint) {
         let svc = Arc::new(ShuffleService {
             block_manager,
-            streams: Mutex::new(HashMap::new()),
+            streams: Mutex::new(BTreeMap::new()),
             next_stream: AtomicU64::new(1),
             conf,
             bytes_served: AtomicU64::new(0),
@@ -265,7 +265,7 @@ impl StreamManager for ShuffleService {
 /// Default shuffle-plane client: netz channels to remote shuffle services.
 pub struct NettyBlockTransferService {
     endpoint: netz::Endpoint,
-    clients: Mutex<HashMap<PortAddr, TransportClient>>,
+    clients: Mutex<BTreeMap<PortAddr, TransportClient>>,
 }
 
 impl NettyBlockTransferService {
@@ -282,7 +282,7 @@ impl NettyBlockTransferService {
     pub fn with_context(ctx: TransportContext, identity: &ProcIdentity, label: &str) -> Arc<Self> {
         let endpoint =
             ctx.create_client_endpoint(format!("{label}:{}", identity.name), identity.node);
-        Arc::new(NettyBlockTransferService { endpoint, clients: Mutex::new(HashMap::new()) })
+        Arc::new(NettyBlockTransferService { endpoint, clients: Mutex::new(BTreeMap::new()) })
     }
 
     fn client(&self, addr: PortAddr) -> Result<TransportClient, NetzError> {
@@ -377,7 +377,7 @@ impl BlockTransferService for NettyBlockTransferService {
     }
 
     fn close(&self) {
-        for (_, c) in self.clients.lock().drain() {
+        for c in std::mem::take(&mut *self.clients.lock()).into_values() {
             c.close();
         }
         self.endpoint.shutdown();

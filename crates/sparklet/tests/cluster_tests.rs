@@ -242,3 +242,52 @@ fn per_block_chunk_mode_matches_merged_mode() {
     };
     assert_eq!(run(true), run(false));
 }
+
+#[test]
+fn shuffle_output_is_bit_reproducible_across_runs() {
+    // Determinism invariant D4 (see DESIGN.md): message-path crates never
+    // iterate hash maps, so re-running the identical job must reproduce the
+    // collected output bit-for-bit — *including element order* — and every
+    // virtual timestamp in the metrics. No sorting before comparison.
+    let run = || {
+        let (spec, cluster) = small_cluster();
+        simulate(&spec, cluster, backend(), Arc::new(ProcessBuilderLauncher), |sc| {
+            let pairs: Vec<(u64, u64)> = (0..400u64).map(|i| (i % 37, i)).collect();
+            let grouped = sc.parallelize(pairs, 8).group_by_key(5);
+            let joined = grouped
+                .map(|(k, vs)| (k, vs.len() as u64))
+                .join(&sc.parallelize((0..37u64).map(|k| (k, k * k)).collect(), 4), 3);
+            joined.collect()
+        })
+    };
+    let (out_a, metrics_a) = run();
+    let (out_b, metrics_b) = run();
+    assert_eq!(out_a, out_b, "same-seed shuffle output must match, including order");
+    let summary = |ms: &[sparklet::scheduler::JobMetrics]| {
+        ms.iter()
+            .map(|j| {
+                let stages: Vec<_> = j
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.name.clone(),
+                            s.start_ns,
+                            s.end_ns,
+                            s.tasks,
+                            s.fetch_wait_ns,
+                            s.remote_bytes,
+                            s.local_bytes,
+                        )
+                    })
+                    .collect();
+                (j.job_id, j.start_ns, j.end_ns, stages)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        summary(&metrics_a),
+        summary(&metrics_b),
+        "virtual timings and byte counts must reproduce exactly"
+    );
+}

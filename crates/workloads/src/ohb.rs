@@ -9,8 +9,8 @@
 //! range partitioner, which is why its breakdown names Job2 where
 //! GroupByTest names Job1 — exactly as in the paper's Fig. 10.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::SmallRng; // detlint: allow(D3, reason = "seeded SmallRng; every stream is derived from the workload seed")
+use rand::{Rng, SeedableRng}; // detlint: allow(D3, reason = "seeded SmallRng; every stream is derived from the workload seed")
 use sparklet::scheduler::{JobMetrics, SparkContext};
 use sparklet::{Blob, Rdd};
 

@@ -21,9 +21,31 @@ echo "==> chaos matrix (fixed seeds)"
 # seed is printed up front — replaying a failure is
 # `CHAOS_SEED=<seed> scripts/ci.sh` (the whole run is a pure function of
 # the seed).
-CHAOS_SEED="${CHAOS_SEED:-$(( (RANDOM << 30) ^ (RANDOM << 15) ^ RANDOM ))}"
+#
+# Seed derivation must be portable: $RANDOM is a bash/zsh-ism that silently
+# expands to an empty string under dash/posh, which used to yield
+# CHAOS_SEED="" and an arithmetic error (or, worse, seed 0 every run).
+derive_seed() {
+  seed="$(od -vAn -N6 -tu8 /dev/urandom 2>/dev/null | tr -d '[:space:]')"
+  if [ -z "$seed" ]; then
+    # No usable /dev/urandom (some minimal containers): fall back to the
+    # clock. Coarse, but still a fresh schedule per run.
+    seed="$(date +%s%N 2>/dev/null | tr -cd '0-9')"
+  fi
+  printf '%s' "$seed"
+}
+if [ -z "${CHAOS_SEED:-}" ]; then
+  CHAOS_SEED="$(derive_seed)"
+fi
+if [ -z "$CHAOS_SEED" ]; then
+  echo "error: could not derive CHAOS_SEED (no /dev/urandom, no date); set it explicitly" >&2
+  exit 1
+fi
 echo "==> chaos smoke (randomized seed: CHAOS_SEED=$CHAOS_SEED)"
 CHAOS_SEED="$CHAOS_SEED" "$CARGO" test -q --release -p sparklet --test chaos_tests "$@" -- --ignored
+
+echo "==> detlint (determinism rules D1-D5)"
+"$CARGO" run -q --release -p detlint
 
 echo "==> cargo fmt --check"
 "$CARGO" fmt --all -- --check
