@@ -1,0 +1,40 @@
+//! Traced smoke cell for the CI gate: run one small OHB GroupBy cell with
+//! the deterministic timeline enabled, dump the Chrome-trace JSON into
+//! `SPARK_TRACE_DIR`, and validate it in-process. CI runs this twice into
+//! two directories and `cmp`s the outputs — the export must be
+//! byte-identical across same-seed re-runs.
+//!
+//! Run: `SPARK_TRACE_DIR=/tmp/trace cargo run --release -p mpi4spark-bench
+//! --bin traced_smoke`
+
+use mpi4spark_bench::ohb_runner::{run_cell, OhbBench};
+use workloads::System;
+
+fn main() {
+    let dir = std::env::var("SPARK_TRACE_DIR").unwrap_or_else(|_| {
+        eprintln!("SPARK_TRACE_DIR not set; defaulting to target/trace-smoke");
+        "target/trace-smoke".to_string()
+    });
+    std::env::set_var("SPARK_TRACE_DIR", &dir);
+
+    let system = System::Mpi4Spark;
+    let bench = OhbBench::GroupBy;
+    let workers = 2;
+    let cell = run_cell(system, bench, workers, 4, 1);
+    assert!(cell.check > 0, "workload sanity value must be positive");
+
+    let path = std::path::Path::new(&dir).join(format!(
+        "{}-{}-{}w.json",
+        bench.name(),
+        system.label(),
+        workers
+    ));
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("timeline missing at {}: {e}", path.display()));
+    obs::timeline::validate_json(&json)
+        .unwrap_or_else(|e| panic!("invalid timeline JSON at {}: {e}", path.display()));
+    for name in ["simt.task", "netz.msg.send", "spark.stage", "rmpi.coll.bcast"] {
+        assert!(json.contains(&format!("\"name\":\"{name}\"")), "timeline lacks {name} spans");
+    }
+    println!("traced smoke: {} ({} bytes, valid JSON)", path.display(), json.len());
+}

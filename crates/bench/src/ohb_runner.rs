@@ -73,7 +73,13 @@ pub fn run_cell_routed(
     gb_per_worker: u64,
     route: Option<netz::RoutePolicy>,
 ) -> OhbCell {
-    let conf = SparkConf::paper_defaults(cores);
+    let mut conf = SparkConf::paper_defaults(cores);
+    // SPARK_TRACE_DIR=<dir> turns on the deterministic timeline for every
+    // cell and dumps one Chrome-trace JSON per cell into <dir>. Tracing
+    // costs host memory only, never virtual time, so the reported figures
+    // are unchanged.
+    let trace_dir = std::env::var_os("SPARK_TRACE_DIR");
+    conf.trace_timeline = trace_dir.is_some();
     let cluster = ClusterConfig::paper_layout(spec.len(), conf);
     assert_eq!(cluster.worker_nodes.len(), workers);
     let cfg = OhbConfig::paper(workers, cores, gb_per_worker);
@@ -85,6 +91,13 @@ pub fn run_cell_routed(
             system.run_with_route(spec, cluster, route, move |sc| sort_by_app(sc, cfg))
         }
     };
+    if let (Some(dir), Some(json)) = (trace_dir, &outcome.timeline) {
+        let name = format!("{}-{}-{}w.json", bench.name(), system.label(), workers);
+        let path = std::path::Path::new(&dir).join(name);
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)).unwrap_or_else(
+            |e| panic!("SPARK_TRACE_DIR: cannot write timeline {}: {e}", path.display()),
+        );
+    }
     let breakdown = StageBreakdown::from_jobs(&outcome.jobs);
     OhbCell { breakdown, total_ns: outcome.total_ns(), check: outcome.result }
 }

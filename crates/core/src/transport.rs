@@ -192,7 +192,17 @@ impl InboundHandler for OptInbound {
         // Bounded wait: if the body was lost in flight, give up and let the
         // unanswered fetch time out at the requester instead of wedging
         // this event loop in a blocking recv.
-        match comm.recv_timeout(Some(src), Some(tag), self.body_timeout_ns) {
+        let obs = chan.net.obs();
+        let recv = {
+            let _wait = obs.is_traced().then(|| {
+                obs.span(
+                    "rmpi.body.wait",
+                    obs::kv! {"key" => key, "src" => chan.remote_node, "dst" => chan.local_node},
+                )
+            });
+            comm.recv_timeout(Some(src), Some(tag), self.body_timeout_ns)
+        };
+        match recv {
             Ok((body, _status)) => match Message::decode(&frame.header, body) {
                 Ok(msg) => InboundAction::Decoded(msg),
                 Err(_) => InboundAction::Consume,
@@ -275,6 +285,7 @@ impl BasicRouter {
     fn spawn_receiver(self: &Arc<Self>, comm: rmpi::Comm, label: &str) {
         let router = self.clone();
         let tuning = *self.tuning.lock();
+        let obs = comm.universe().net().obs().clone();
         simt::spawn_daemon(format!("mpi-basic-rx:{label}:r{}", comm.rank()), move || loop {
             let Ok((payload, _status)) = comm.recv(None, Some(BASIC_TAG)) else {
                 break;
@@ -290,6 +301,17 @@ impl BasicRouter {
             let Some((endpoint, chan)) = target else {
                 continue;
             };
+            // The Basic path bypasses the endpoint's frame pipeline, so the
+            // recv span (linked to the sender's span id from the header) is
+            // opened here instead of in `Endpoint::on_frame`.
+            let _recv_span = obs.is_traced().then(|| {
+                let link = Message::peek_span_id(&msg.header).unwrap_or(0);
+                obs.tracer().span_linked(
+                    "netz.msg.recv",
+                    link,
+                    obs::kv! {"src" => chan.remote_node, "dst" => chan.local_node},
+                )
+            });
             match Message::decode(&msg.header, msg.body.clone()) {
                 Ok(decoded) => endpoint.dispatch(&chan, decoded),
                 Err(_) => continue,

@@ -12,9 +12,10 @@
 //! * **D3** — no `rand` / OS-entropy sources; use `simt::SeededRng` (or a
 //!   seeded generator justified by an allow comment).
 //! * **D4** — no iteration over `HashMap` / `HashSet` in message-path crates
-//!   (`netz`, `fabric`, `rmpi`, `sparklet`, `core`); iteration order leaks
-//!   into message and scheduling order. Use `BTreeMap` / `BTreeSet` or a
-//!   sorted collect.
+//!   (`netz`, `fabric`, `rmpi`, `sparklet`, `core`, `obs`); iteration order
+//!   leaks into message and scheduling order — and, for `obs`, into the
+//!   exported timeline bytes. Use `BTreeMap` / `BTreeSet` or a sorted
+//!   collect.
 //! * **D5** — no lock guard held across `park()` / blocking simt primitives
 //!   (the lost-wakeup & deadlock shape the push-token-then-park pattern
 //!   exists to avoid).
@@ -67,8 +68,10 @@ impl Diagnostic {
 }
 
 /// Crates whose sources sit on the message path: any hash-order leak here
-/// reorders packets, RPCs, or task scheduling (rule D4's scope).
-pub const MESSAGE_PATH_CRATES: &[&str] = &["netz", "fabric", "rmpi", "sparklet", "core"];
+/// reorders packets, RPCs, or task scheduling (rule D4's scope). `obs` is
+/// included because span records and metric snapshots feed the byte-stable
+/// timeline export.
+pub const MESSAGE_PATH_CRATES: &[&str] = &["netz", "fabric", "rmpi", "sparklet", "core", "obs"];
 
 /// Files allowed to touch the OS clock/thread APIs: the engine itself and the
 /// OS-level gate it parks threads with.

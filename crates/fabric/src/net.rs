@@ -81,21 +81,32 @@ struct NodeRt {
     ingress: Mutex<LinkState>,
     /// Local storage (HDFS-style output writes; see [`Net::disk_write`]).
     disk: Mutex<LinkState>,
+    /// Cumulative egress serialization time, mirrored into the registry.
+    egress_busy: obs::Gauge,
+    /// Cumulative ingress serialization time, mirrored into the registry.
+    ingress_busy: obs::Gauge,
 }
 
-/// Aggregate delivery counters, for tests and harness reporting.
-#[derive(Debug, Default)]
-pub struct NetStats {
-    /// Messages delivered to a bound port.
-    pub delivered_msgs: AtomicU64,
-    /// Virtual bytes delivered.
-    pub delivered_bytes: AtomicU64,
-    /// Messages dropped because the destination port was unbound.
-    pub dropped_msgs: AtomicU64,
-    /// Messages dropped by an installed [`FaultPlan`].
-    pub chaos_dropped_msgs: AtomicU64,
-    /// Messages delayed by an installed [`FaultPlan`].
-    pub chaos_delayed_msgs: AtomicU64,
+/// Registry counter handles cached at construction (delivery runs on the
+/// hot path of every message).
+struct NetCounters {
+    delivered_msgs: obs::Counter,
+    delivered_bytes: obs::Counter,
+    dropped_msgs: obs::Counter,
+    chaos_dropped_msgs: obs::Counter,
+    chaos_delayed_msgs: obs::Counter,
+}
+
+impl NetCounters {
+    fn new(reg: &obs::Registry) -> NetCounters {
+        NetCounters {
+            delivered_msgs: reg.counter(obs::keys::NET_DELIVERED_MSGS),
+            delivered_bytes: reg.counter(obs::keys::NET_DELIVERED_BYTES),
+            dropped_msgs: reg.counter(obs::keys::NET_DROPPED_MSGS),
+            chaos_dropped_msgs: reg.counter(obs::keys::NET_CHAOS_DROPPED_MSGS),
+            chaos_delayed_msgs: reg.counter(obs::keys::NET_CHAOS_DELAYED_MSGS),
+        }
+    }
 }
 
 struct NetInner {
@@ -103,7 +114,8 @@ struct NetInner {
     nodes: Vec<NodeRt>,
     ports: Mutex<BTreeMap<PortAddr, Queue<Packet>>>,
     next_auto_port: AtomicU64,
-    stats: NetStats,
+    obs: obs::Obs,
+    counters: NetCounters,
     /// Fault-injection schedule consulted on every send (None = healthy).
     chaos: Mutex<Option<Arc<FaultPlan>>>,
 }
@@ -123,29 +135,47 @@ const AUTO_PORT_BASE: u64 = 1 << 32;
 const DISK_RATE_BPNS: f64 = 0.6;
 
 impl Net {
-    /// Build the runtime for a cluster.
+    /// Build the runtime for a cluster with a default (untraced)
+    /// observability context.
     pub fn new(cluster: &ClusterSpec) -> Self {
+        Net::with_obs(cluster, obs::Obs::disabled())
+    }
+
+    /// Build the runtime for a cluster, attaching `obs` as the shared
+    /// observability context for every layer above the fabric.
+    pub fn with_obs(cluster: &ClusterSpec, obs: obs::Obs) -> Self {
+        let reg = obs.registry();
         let nodes = cluster
             .nodes
             .iter()
-            .map(|spec| NodeRt {
+            .enumerate()
+            .map(|(i, spec)| NodeRt {
                 cpu: Cpu::with_hyperthreading(spec.cores(), spec.threads_per_core),
                 spec: spec.clone(),
                 egress: Mutex::new(LinkState::default()),
                 ingress: Mutex::new(LinkState::default()),
                 disk: Mutex::new(LinkState::default()),
+                egress_busy: reg.gauge(&format!("fabric.link.n{i}.egress_busy_ns")),
+                ingress_busy: reg.gauge(&format!("fabric.link.n{i}.ingress_busy_ns")),
             })
             .collect();
+        let counters = NetCounters::new(reg);
         Net {
             inner: Arc::new(NetInner {
                 wire: cluster.interconnect.wire,
                 nodes,
                 ports: Mutex::new(BTreeMap::new()),
                 next_auto_port: AtomicU64::new(AUTO_PORT_BASE),
-                stats: NetStats::default(),
+                obs,
+                counters,
                 chaos: Mutex::new(None),
             }),
         }
+    }
+
+    /// The observability context shared by everything running on this net.
+    pub fn obs(&self) -> &obs::Obs {
+        &self.inner.obs
     }
 
     /// Install a fault-injection plan. Every subsequent [`Net::send`]
@@ -179,11 +209,6 @@ impl Net {
     /// The wire model.
     pub fn wire(&self) -> Wire {
         self.inner.wire
-    }
-
-    /// Delivery counters.
-    pub fn stats(&self) -> &NetStats {
-        &self.inner.stats
     }
 
     /// Per-node link occupancy: `(egress_busy_ns, egress_backlog_ns,
@@ -260,11 +285,19 @@ impl Net {
             let plan = self.inner.chaos.lock().clone();
             match plan.map(|p| p.verdict(now, from_node, to.node, eff_stack.name)) {
                 Some(Verdict::Drop) => {
-                    self.inner.stats.chaos_dropped_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.inner.counters.chaos_dropped_msgs.inc();
+                    self.inner.obs.event(
+                        "fabric.chaos.drop",
+                        obs::kv! {"src" => from_node, "dst" => to.node, "stack" => eff_stack.name},
+                    );
                     return now + self.inner.wire.latency_ns;
                 }
                 Some(Verdict::Delay(extra)) => {
-                    self.inner.stats.chaos_delayed_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.inner.counters.chaos_delayed_msgs.inc();
+                    self.inner.obs.event(
+                        "fabric.chaos.delay",
+                        obs::kv! {"src" => from_node, "dst" => to.node, "extra_ns" => extra},
+                    );
                     extra
                 }
                 Some(Verdict::Deliver) | None => 0,
@@ -276,13 +309,36 @@ impl Net {
             now + 300 + eff_stack.tx_time_ns(n, &self.inner.wire).min(n / 10)
         } else {
             let tx = eff_stack.tx_time_ns(n, &self.inner.wire);
-            let wait_e = self.inner.nodes[from_node].egress.lock().book(now, tx);
-            let wait_i = self.inner.nodes[to.node].ingress.lock().book(now, tx);
+            let wait_e = {
+                let rt = &self.inner.nodes[from_node];
+                let mut link = rt.egress.lock();
+                let wait = link.book(now, tx);
+                rt.egress_busy.set(link.busy_ns);
+                wait
+            };
+            let wait_i = {
+                let rt = &self.inner.nodes[to.node];
+                let mut link = rt.ingress.lock();
+                let wait = link.book(now, tx);
+                rt.ingress_busy.set(link.busy_ns);
+                wait
+            };
             // The slower of the two queues gates the transfer; both drain
             // concurrently (sender pushes while receiver pulls).
             now + wait_e.max(wait_i) + tx + self.inner.wire.latency_ns
         };
         let deliver_at = base_deliver_at + chaos_extra_ns;
+
+        if self.inner.obs.is_traced() && from_node != to.node {
+            // Wire occupancy span: from send instant to delivery.
+            self.inner.obs.tracer().record_complete(
+                "fabric.tx",
+                now,
+                deliver_at,
+                obs::kv! {"src" => from_node, "dst" => to.node, "bytes" => n,
+                "stack" => eff_stack.name},
+            );
+        }
 
         let recv_cpu_ns = eff_stack.recv_cpu_ns(n);
         let inner = self.inner.clone();
@@ -290,8 +346,8 @@ impl Net {
             let q = inner.ports.lock().get(&to).cloned();
             match q {
                 Some(q) => {
-                    inner.stats.delivered_msgs.fetch_add(1, Ordering::Relaxed);
-                    inner.stats.delivered_bytes.fetch_add(n, Ordering::Relaxed);
+                    inner.counters.delivered_msgs.inc();
+                    inner.counters.delivered_bytes.add(n);
                     q.send(Packet {
                         src_node: from_node,
                         payload,
@@ -300,7 +356,7 @@ impl Net {
                     });
                 }
                 None => {
-                    inner.stats.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.dropped_msgs.inc();
                 }
             }
         });
@@ -475,8 +531,9 @@ mod tests {
             simt::sleep(1_000_000);
         });
         sim.run().unwrap().assert_clean();
-        assert_eq!(net.stats().dropped_msgs.load(Ordering::Relaxed), 1);
-        assert_eq!(net.stats().delivered_msgs.load(Ordering::Relaxed), 0);
+        let snap = net.obs().registry().snapshot();
+        assert_eq!(snap.counter(obs::keys::NET_DROPPED_MSGS), 1);
+        assert_eq!(snap.counter(obs::keys::NET_DELIVERED_MSGS), 0);
     }
 
     #[test]
@@ -633,8 +690,9 @@ mod tests {
             assert_eq!(&pkt.payload.bytes[..], b"b", "the windowed message never arrives");
         });
         sim.run().unwrap().assert_clean();
-        assert_eq!(net.stats().chaos_dropped_msgs.load(Ordering::Relaxed), 1);
-        assert_eq!(net.stats().delivered_msgs.load(Ordering::Relaxed), 1);
+        let snap = net.obs().registry().snapshot();
+        assert_eq!(snap.counter(obs::keys::NET_CHAOS_DROPPED_MSGS), 1);
+        assert_eq!(snap.counter(obs::keys::NET_DELIVERED_MSGS), 1);
     }
 
     #[test]

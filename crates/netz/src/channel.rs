@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::{Net, NodeId, Payload, PortAddr, StackModel};
+use obs::Span;
 use parking_lot::Mutex;
 
 use crate::error::NetzError;
@@ -38,17 +39,26 @@ impl ChannelId {
     }
 }
 
-/// Per-channel traffic counters.
-#[derive(Debug, Default)]
-pub struct ChannelMetrics {
-    /// Messages written by this side.
-    pub msgs_sent: AtomicU64,
-    /// Virtual bytes written by this side (socket + out-of-band paths).
-    pub bytes_sent: AtomicU64,
-    /// Messages received by this side.
-    pub msgs_received: AtomicU64,
-    /// Virtual bytes received by this side.
-    pub bytes_received: AtomicU64,
+/// Registry-backed traffic counters (shared across all channels on one
+/// `Net`; read them via `net.obs().registry().snapshot()` under the
+/// `netz.*` keys). Handles are cached per channel because `write` is the
+/// hot path of every message.
+pub(crate) struct ChanStats {
+    msgs_sent: obs::Counter,
+    bytes_sent: obs::Counter,
+    msgs_received: obs::Counter,
+    bytes_received: obs::Counter,
+}
+
+impl ChanStats {
+    fn new(reg: &obs::Registry) -> ChanStats {
+        ChanStats {
+            msgs_sent: reg.counter(obs::keys::NETZ_MSGS_SENT),
+            bytes_sent: reg.counter(obs::keys::NETZ_BYTES_SENT),
+            msgs_received: reg.counter(obs::keys::NETZ_MSGS_RECEIVED),
+            bytes_received: reg.counter(obs::keys::NETZ_BYTES_RECEIVED),
+        }
+    }
 }
 
 /// Callback invoked when a response (or failure) for an outstanding request
@@ -98,8 +108,8 @@ pub struct ChannelCore {
     pub peer_handshake: Handshake,
     /// Handler pipeline (paper Fig. 7); transports install handlers here.
     pub pipeline: Mutex<Pipeline>,
-    /// Traffic counters.
-    pub metrics: ChannelMetrics,
+    /// Registry-backed traffic counters.
+    pub(crate) stats: ChanStats,
     pub(crate) pending: Mutex<PendingResponses>,
     open: Mutex<bool>,
     next_seq: AtomicU64,
@@ -118,6 +128,10 @@ impl ChannelCore {
         local_handshake: Handshake,
         peer_handshake: Handshake,
     ) -> Arc<Self> {
+        let obs = net.obs().clone();
+        obs.registry().counter(obs::keys::NETZ_CHANNELS_OPENED).inc();
+        obs.event("netz.channel.open", obs::kv! {"local" => local_node, "remote" => remote_node});
+        let stats = ChanStats::new(obs.registry());
         Arc::new(ChannelCore {
             id,
             local_node,
@@ -129,7 +143,7 @@ impl ChannelCore {
             local_handshake,
             peer_handshake,
             pipeline: Mutex::new(Pipeline::new()),
-            metrics: ChannelMetrics::default(),
+            stats,
             pending: Mutex::new(PendingResponses::default()),
             open: Mutex::new(true),
             next_seq: AtomicU64::new(0),
@@ -149,18 +163,33 @@ impl ChannelCore {
     /// Write a message: run the outbound pipeline; unless a handler takes
     /// over transmission, encode and ship header+body as one socket frame
     /// (the Netty NIO default).
+    ///
+    /// When tracing is on, the whole write (pipeline + encode + fabric
+    /// send) runs inside a `netz.msg.send` span whose id is installed as
+    /// the thread's send scope, so any header encoded on this path — by us
+    /// or by a transport handler re-encoding inside `on_write` — carries
+    /// the id for the receiver to link against.
     pub fn write(self: &Arc<Self>, msg: Message) {
         if !self.is_open() {
             return;
         }
-        self.metrics.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats.msgs_sent.inc();
+        let obs = self.net.obs();
+        let span = obs.is_traced().then(|| {
+            obs.span(
+                "netz.msg.send",
+                obs::kv! {"type" => format!("{:?}", msg.type_id()),
+                "src" => self.local_node, "dst" => self.remote_node},
+            )
+        });
+        let _scope = span.as_ref().map(Span::send_scope);
         let outbound = self.pipeline.lock().outbound_handlers();
         let mut current = msg;
         for handler in outbound {
             match handler.on_write(self, current) {
                 OutboundAction::Forward(m) => current = m,
                 OutboundAction::Sent { virtual_bytes } => {
-                    self.metrics.bytes_sent.fetch_add(virtual_bytes, Ordering::Relaxed);
+                    self.stats.bytes_sent.add(virtual_bytes);
                     return;
                 }
             }
@@ -169,8 +198,15 @@ impl ChannelCore {
         let body = current.body().cloned().unwrap_or_else(Payload::empty);
         let frame = Frame { header, body };
         let virtual_len = frame.socket_virtual_len();
-        self.metrics.bytes_sent.fetch_add(virtual_len, Ordering::Relaxed);
+        self.stats.bytes_sent.add(virtual_len);
         self.send_event(WireEvent::Data { channel: self.id, frame }, virtual_len);
+    }
+
+    /// Book a received message against the shared traffic counters (called
+    /// by the endpoint's event loop and by out-of-band receivers).
+    pub(crate) fn note_received(&self, virtual_bytes: u64) {
+        self.stats.msgs_received.inc();
+        self.stats.bytes_received.add(virtual_bytes);
     }
 
     /// Ship a raw wire event to the peer endpoint over the socket stack.
@@ -233,6 +269,10 @@ impl ChannelCore {
         if !self.mark_closed() {
             return;
         }
+        self.net.obs().event(
+            "netz.channel.close",
+            obs::kv! {"local" => self.local_node, "remote" => self.remote_node},
+        );
         self.send_event(WireEvent::Close { channel: self.id }, CONTROL_EVENT_BYTES);
         self.fail_pending();
     }
@@ -242,6 +282,10 @@ impl ChannelCore {
         if !self.mark_closed() {
             return;
         }
+        self.net.obs().event(
+            "netz.channel.close",
+            obs::kv! {"local" => self.local_node, "remote" => self.remote_node},
+        );
         self.fail_pending();
     }
 

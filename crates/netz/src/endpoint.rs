@@ -172,6 +172,12 @@ impl Endpoint {
             match self.connect(remote) {
                 Ok(client) => return Ok(client),
                 Err(e) if attempt < policy.max_retries && e.is_transient() => {
+                    let obs = self.inner.net.obs();
+                    obs.registry().counter(obs::keys::NETZ_CONNECT_RETRIES).inc();
+                    obs.event(
+                        "netz.connect.retry",
+                        obs::kv! {"remote" => remote, "attempt" => attempt + 1, "error" => e},
+                    );
                     simt::sleep(policy.backoff_ns(attempt, rng));
                     attempt += 1;
                 }
@@ -310,7 +316,20 @@ impl Endpoint {
     }
 
     /// Run the inbound pipeline on a frame, then dispatch the message.
+    ///
+    /// When tracing is on, the whole receive (pipeline + decode + dispatch)
+    /// runs inside a `netz.msg.recv` span causally linked — via the span id
+    /// carried in the header — to the peer's `netz.msg.send` span.
     fn on_frame(&self, chan: &Arc<ChannelCore>, frame: Frame) {
+        let obs = self.inner.net.obs();
+        let _span = obs.is_traced().then(|| {
+            let link = Message::peek_span_id(&frame.header).unwrap_or(0);
+            obs.tracer().span_linked(
+                "netz.msg.recv",
+                link,
+                obs::kv! {"src" => chan.remote_node, "dst" => chan.local_node},
+            )
+        });
         let header_len = frame.header.len() as u64;
         let inbound = chan.pipeline.lock().inbound_handlers();
         let mut action = InboundAction::Forward(frame);
@@ -328,10 +347,7 @@ impl Endpoint {
                 Err(_) => return, // malformed frame: drop (Netty would fire exceptionCaught)
             },
         };
-        chan.metrics.msgs_received.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        chan.metrics
-            .bytes_received
-            .fetch_add(header_len + msg.body_virtual_len(), std::sync::atomic::Ordering::Relaxed);
+        chan.note_received(header_len + msg.body_virtual_len());
         self.dispatch(chan, msg);
     }
 

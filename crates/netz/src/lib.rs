@@ -38,7 +38,7 @@ pub mod transport;
 pub mod wire;
 
 pub use buf::{ByteReader, ByteWriter};
-pub use channel::{ChannelCore, ChannelId, ChannelMetrics};
+pub use channel::{ChannelCore, ChannelId};
 pub use client::TransportClient;
 pub use context::{NoOpRpcHandler, RpcHandler, StreamManager, TransportConf, TransportContext};
 pub use endpoint::Endpoint;

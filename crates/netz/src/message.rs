@@ -209,11 +209,20 @@ impl Message {
     }
 
     /// Encode the `MessageWithHeader` header (paper Fig. 6): frame length,
-    /// type tag, type-specific fields, and the body's virtual length.
+    /// type tag, the sender's trace span id, type-specific fields, and the
+    /// body's virtual length.
+    ///
+    /// The span id is the calling thread's current send scope
+    /// ([`obs::current_send_span`], 0 when untraced) — reading it here, at
+    /// encode time, means the id survives transports that re-encode headers
+    /// deep inside pipeline handlers. The field is always present, so traced
+    /// and untraced runs have identical wire sizes and therefore identical
+    /// virtual timings.
     pub fn encode_header(&self) -> Bytes {
         let mut w = ByteWriter::with_capacity(64);
         w.put_u64(0); // frame length back-patched below
         w.put_u8(self.type_id() as u8);
+        w.put_u64(obs::current_send_span());
         match self {
             Message::RpcRequest { request_id, .. } | Message::RpcResponse { request_id, .. } => {
                 w.put_u64(*request_id);
@@ -259,6 +268,7 @@ impl Message {
             .get_u8()
             .and_then(MessageType::from_u8)
             .ok_or_else(|| NetzError::codec("bad message type"))?;
+        let _span_id = r.get_u64().ok_or_else(|| NetzError::codec("truncated span id"))?;
         let err = |what: &str| NetzError::codec(format!("truncated {what}"));
         let msg = match ty {
             MessageType::RpcRequest => Message::RpcRequest {
@@ -323,6 +333,16 @@ impl Message {
         MessageType::from_u8(header[8])
     }
 
+    /// Sender-side trace span id carried in the header (0 when the sender
+    /// was not inside a traced send). Receivers use it as the causal link of
+    /// their recv span.
+    pub fn peek_span_id(header: &Bytes) -> Option<u64> {
+        if header.len() < 17 {
+            return None;
+        }
+        Some(u64::from_be_bytes(header[9..17].try_into().ok()?))
+    }
+
     /// Content-derived identity of a body-carrying message, parsed from its
     /// encoded header. Both ends of an out-of-band body transport compute
     /// this from the same header bytes, so it can key the side channel
@@ -344,6 +364,7 @@ impl Message {
         let mut r = ByteReader::new(header.clone());
         r.get_u64()?; // frame length
         r.get_u8()?; // type tag
+        r.get_u64()?; // span id (trace-dependent: must not key the body)
         match ty {
             MessageType::RpcRequest | MessageType::RpcResponse => {
                 Some(mix(r.get_u64()?.wrapping_add(1)))
@@ -491,6 +512,33 @@ mod tests {
         assert_eq!(Message::peek_body_key(&req), None);
         let oneway = Message::OneWayMessage { body: Payload::empty() }.encode_header();
         assert_eq!(Message::peek_body_key(&oneway), None);
+    }
+
+    #[test]
+    fn header_carries_send_scope_span_id() {
+        let msg = Message::ChunkFetchRequest { stream_id: 1, chunk_index: 2 };
+        let plain = msg.encode_header();
+        assert_eq!(Message::peek_span_id(&plain), Some(0), "no scope -> untraced id 0");
+        let tagged = {
+            let _scope = obs::SendScope::enter(42);
+            msg.encode_header()
+        };
+        assert_eq!(Message::peek_span_id(&tagged), Some(42));
+        // The span id must not perturb the other header peeks.
+        assert_eq!(Message::peek_type(&tagged), Some(MessageType::ChunkFetchRequest));
+        assert_eq!(Message::peek_body_len(&tagged), Some(0));
+        // Nor the content-addressed body key: both ends must derive the same
+        // key whether or not the sender was traced.
+        let keyed =
+            Message::ChunkFetchSuccess { stream_id: 7, chunk_index: 3, body: Payload::empty() };
+        let k0 = Message::peek_body_key(&keyed.encode_header());
+        let k1 = {
+            let _scope = obs::SendScope::enter(9);
+            Message::peek_body_key(&keyed.encode_header())
+        };
+        assert_eq!(k0, k1);
+        // Headers are the same size traced and untraced: identical timings.
+        assert_eq!(plain.len(), tagged.len());
     }
 
     #[test]

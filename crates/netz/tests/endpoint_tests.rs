@@ -331,12 +331,15 @@ fn metrics_count_traffic() {
             .create_client_endpoint("client", 1);
         let client = ep.connect(server.addr()).unwrap();
         client.send_rpc(Payload::bytes(Bytes::from_static(b"12345678"))).unwrap();
-        let m = &client.channel().metrics;
-        use std::sync::atomic::Ordering;
-        assert_eq!(m.msgs_sent.load(Ordering::Relaxed), 1);
-        assert_eq!(m.msgs_received.load(Ordering::Relaxed), 1);
-        assert!(m.bytes_sent.load(Ordering::Relaxed) >= 8);
-        assert!(m.bytes_received.load(Ordering::Relaxed) >= 8);
+        // One read surface for traffic counters: the net's registry
+        // snapshot. Request + echoed response = 2 sends and 2 receives
+        // across the two endpoints sharing this net.
+        let snap = net.obs().registry().snapshot();
+        assert_eq!(snap.counter(obs::keys::NETZ_MSGS_SENT), 2);
+        assert_eq!(snap.counter(obs::keys::NETZ_MSGS_RECEIVED), 2);
+        assert!(snap.counter(obs::keys::NETZ_BYTES_SENT) >= 16);
+        assert!(snap.counter(obs::keys::NETZ_BYTES_RECEIVED) >= 16);
+        assert_eq!(snap.counter(obs::keys::NETZ_CHANNELS_OPENED), 2, "one per side");
     });
     sim.run().unwrap().assert_clean();
 }

@@ -1,0 +1,117 @@
+//! Cross-process span causality: a `netz.msg.recv` span's `link` must equal
+//! the id of the `netz.msg.send` span whose message it is handling. The id
+//! travels inside the wire header (`Message::encode_header` stamps the
+//! thread's send scope), so the invariant holds across simulated processes
+//! and survives header re-encoding in transport pipelines.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fabric::{ClusterSpec, Net, Payload};
+use netz::{NoOpRpcHandler, RpcHandler, StreamManager, TransportConf, TransportContext};
+use simt::Sim;
+
+struct EchoHandler;
+
+impl RpcHandler for EchoHandler {
+    fn receive(
+        &self,
+        _chan: &Arc<netz::ChannelCore>,
+        body: Payload,
+        reply: netz::context::RpcResponseCallback,
+    ) {
+        reply(Ok(body));
+    }
+
+    fn stream_manager(&self) -> Arc<dyn StreamManager> {
+        Arc::new(NoStreams)
+    }
+}
+
+struct NoStreams;
+
+impl StreamManager for NoStreams {
+    fn get_chunk(&self, _stream_id: u64, _chunk_index: u32) -> Result<Payload, String> {
+        Err("no streams in this test".to_string())
+    }
+
+    fn open_stream(&self, _stream_id: &str) -> Result<Payload, String> {
+        Err("no streams in this test".to_string())
+    }
+}
+
+fn kv<'a>(r: &'a obs::SpanRecord, key: &str) -> &'a str {
+    r.kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+#[test]
+fn recv_spans_link_to_the_matching_send_span() {
+    let obs = obs::Obs::traced();
+    let obs2 = obs.clone();
+    let sim = Sim::new();
+    sim.spawn("main", move || {
+        let net = Net::with_obs(&ClusterSpec::test(2), obs2);
+        let conf = TransportConf::default_sockets();
+        let server = TransportContext::new(net.clone(), conf, Arc::new(EchoHandler))
+            .create_server("server", 0, 100);
+        let ep = TransportContext::new(net.clone(), conf, Arc::new(NoOpRpcHandler))
+            .create_client_endpoint("client", 1);
+        let client = ep.connect(server.addr()).unwrap();
+        let reply = client.send_rpc(Payload::bytes(Bytes::from_static(b"ping"))).unwrap();
+        assert_eq!(&reply.bytes[..], b"ping");
+    });
+    sim.run().unwrap().assert_clean();
+
+    let recs = obs.tracer().records();
+    let linked_recvs: Vec<_> =
+        recs.iter().filter(|r| r.name == "netz.msg.recv" && r.link != 0).collect();
+    // At least the RPC request (client→server) and its response
+    // (server→client) must arrive as linked receives.
+    assert!(
+        linked_recvs.len() >= 2,
+        "expected request and response recv spans with links, got {}",
+        linked_recvs.len()
+    );
+    for recv in &linked_recvs {
+        let send = recs.iter().find(|r| r.id == recv.link).unwrap_or_else(|| {
+            panic!("recv span {} links to unrecorded span {}", recv.id, recv.link)
+        });
+        assert_eq!(send.name, "netz.msg.send", "recv must link to a send span");
+        // The send runs on the sending node; the recv names that same node
+        // as its `src`. Directions must agree end to end.
+        assert_eq!(kv(send, "src"), kv(recv, "src"), "send/recv disagree on source node");
+        assert_eq!(kv(send, "dst"), kv(recv, "dst"), "send/recv disagree on destination node");
+        assert!(
+            send.start_ns <= recv.start_ns,
+            "causality violated: send span starts after the linked recv"
+        );
+    }
+    // Both directions are represented: the request lands on the server
+    // (node 0) and the response back on the client (node 1).
+    let dsts: std::collections::BTreeSet<&str> =
+        linked_recvs.iter().map(|r| kv(r, "dst")).collect();
+    assert!(dsts.len() >= 2, "links must cover both directions, saw dsts {dsts:?}");
+}
+
+#[test]
+fn untraced_headers_carry_a_zero_span_id() {
+    // With tracing off, the header still reserves the span-id slot (so wire
+    // sizes — and therefore virtual timings — are identical with tracing on
+    // or off), but no spans are recorded.
+    let obs = obs::Obs::disabled();
+    let obs2 = obs.clone();
+    let sim = Sim::new();
+    sim.spawn("main", move || {
+        let net = Net::with_obs(&ClusterSpec::test(2), obs2);
+        let conf = TransportConf::default_sockets();
+        let server = TransportContext::new(net.clone(), conf, Arc::new(EchoHandler))
+            .create_server("server", 0, 100);
+        let ep = TransportContext::new(net.clone(), conf, Arc::new(NoOpRpcHandler))
+            .create_client_endpoint("client", 1);
+        let client = ep.connect(server.addr()).unwrap();
+        client.send_rpc(Payload::bytes(Bytes::from_static(b"ping"))).unwrap();
+    });
+    sim.run().unwrap().assert_clean();
+    assert!(obs.tracer().records().is_empty());
+    assert!(obs.registry().snapshot().counter(obs::keys::NETZ_MSGS_SENT) > 0);
+}

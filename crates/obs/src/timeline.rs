@@ -1,0 +1,355 @@
+//! Deterministic Chrome-trace / Perfetto JSON export.
+//!
+//! The exporter is hand-rolled (the workspace deliberately carries no JSON
+//! dependency) and deterministic by construction: events are sorted by
+//! `(start_ns, span id)`, all maps render in BTreeMap key order, and
+//! timestamps are formatted from integers — no float formatting is involved.
+//! Re-running the same seed therefore produces byte-identical output, which
+//! CI asserts with `cmp`.
+//!
+//! Open the file at `ui.perfetto.dev` or `chrome://tracing`. Timestamps are
+//! virtual microseconds (`ts`/`dur` carry the simulated nanoseconds at
+//! 1/1000 scale with three decimals preserved).
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Render `records` (plus a metrics snapshot) as a Chrome-trace JSON string.
+///
+/// Layout: one `traceEvents` entry per line (stable diffs), `pid` 0 for
+/// everything (one simulation = one "process"; simulated processes are told
+/// apart by task names), `tid` = `simt` task id (engine-thread records get
+/// the pseudo-tid 0, real tasks are offset by 1). Span ids, parents, and
+/// causal links ride in `args`.
+pub fn chrome_trace(records: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| (r.start_ns, r.id));
+
+    // tid -> thread name, first record wins (names are stable per task).
+    let mut threads: BTreeMap<u64, &str> = BTreeMap::new();
+    for r in &sorted {
+        threads.entry(chrome_tid(r.tid)).or_insert(if r.task.is_empty() {
+            "engine"
+        } else {
+            r.task.as_str()
+        });
+    }
+
+    let mut lines: Vec<String> = Vec::with_capacity(sorted.len() + threads.len());
+    for (tid, name) in &threads {
+        lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+    for r in &sorted {
+        lines.push(event_line(r));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\n\"metrics\":");
+    out.push_str(&metrics_json(metrics));
+    out.push_str(",\n\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_tid(tid: usize) -> u64 {
+    if tid == usize::MAX {
+        0
+    } else {
+        tid as u64 + 1
+    }
+}
+
+/// Category = taxonomy prefix up to the first dot ("netz.msg.send" -> "netz").
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Virtual ns rendered as microseconds with three decimals, from integers.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn event_line(r: &SpanRecord) -> String {
+    let mut args = String::new();
+    args.push_str(&format!("\"id\":{}", r.id));
+    if r.parent != 0 {
+        args.push_str(&format!(",\"parent\":{}", r.parent));
+    }
+    if r.link != 0 {
+        args.push_str(&format!(",\"link\":{}", r.link));
+    }
+    for (k, v) in &r.kvs {
+        args.push_str(&format!(",{}:{}", json_string(k), json_string(v)));
+    }
+    let common = format!(
+        "\"name\":{},\"cat\":{},\"pid\":0,\"tid\":{},\"ts\":{}",
+        json_string(r.name),
+        json_string(category(r.name)),
+        chrome_tid(r.tid),
+        fmt_us(r.start_ns),
+    );
+    if r.instant {
+        format!("{{{common},\"ph\":\"i\",\"s\":\"t\",\"args\":{{{args}}}}}")
+    } else {
+        format!("{{{common},\"ph\":\"X\",\"dur\":{},\"args\":{{{args}}}}}", fmt_us(r.duration_ns()))
+    }
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> String {
+    let counters: Vec<String> =
+        m.counters().map(|(k, v)| format!("{}:{v}", json_string(k))).collect();
+    let gauges: Vec<String> = m.gauges().map(|(k, v)| format!("{}:{v}", json_string(k))).collect();
+    format!("{{\"counters\":{{{}}},\"gauges\":{{{}}}}}", counters.join(","), gauges.join(","))
+}
+
+/// JSON-escape `s` into a quoted string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+/// literals). Used by CI to prove the exporter's output parses without
+/// pulling a JSON dependency into the workspace.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::span::Tracer;
+
+    fn sample() -> (Vec<SpanRecord>, MetricsSnapshot) {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("spark.task", vec![("part".to_string(), "3".to_string())]);
+            let _b = t.span("netz.msg.send", vec![]);
+            t.event("fabric.chaos.drop", vec![("dst".to_string(), "n1".to_string())]);
+        }
+        let reg = Registry::new();
+        reg.counter("fabric.delivered_msgs").add(7);
+        reg.gauge("fabric.link.busy").set(2);
+        (t.records(), reg.snapshot())
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let (recs, snap) = sample();
+        let json = chrome_trace(&recs, &snap);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"name\":\"netz.msg.send\""));
+        assert!(json.contains("\"cat\":\"fabric\""));
+        assert!(json.contains("\"fabric.delivered_msgs\":7"));
+    }
+
+    #[test]
+    fn export_is_deterministic_for_same_records() {
+        let (recs, snap) = sample();
+        assert_eq!(chrome_trace(&recs, &snap), chrome_trace(&recs, &snap));
+        // Record order must not matter: the exporter sorts.
+        let mut reversed = recs.clone();
+        reversed.reverse();
+        assert_eq!(chrome_trace(&recs, &snap), chrome_trace(&reversed, &snap));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3e2,\"x\\n\",true,null]}").unwrap();
+        validate_json("  [ ]  ").unwrap();
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{}extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01abc").is_err());
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        validate_json(&json_string("quote\" back\\ nl\n tab\t ctl\u{1}")).unwrap();
+    }
+}

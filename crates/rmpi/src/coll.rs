@@ -27,8 +27,21 @@ const OP_GATHER: u64 = 4;
 const TOKEN_BYTES: u64 = 16;
 
 impl Comm {
+    /// Span covering one collective phase on this rank (when tracing is on).
+    fn coll_span(&self, name: &'static str, root: Option<u32>) -> Option<obs::Span> {
+        let obs = self.universe().net().obs();
+        obs.is_traced().then(|| {
+            let mut kvs = obs::kv! {"rank" => self.rank(), "size" => self.size()};
+            if let Some(r) = root {
+                kvs.push(("root".to_string(), r.to_string()));
+            }
+            obs.span(name, kvs)
+        })
+    }
+
     /// `MPI_Barrier`: returns once every member has entered.
     pub fn barrier(&self) -> Result<(), MpiError> {
+        let _span = self.coll_span("rmpi.coll.barrier", None);
         let seq = self.next_coll_seq();
         let size = self.size();
         let rank = self.rank();
@@ -65,6 +78,7 @@ impl Comm {
         value: Option<T>,
         virtual_len: u64,
     ) -> Result<T, MpiError> {
+        let _span = self.coll_span("rmpi.coll.bcast", Some(root));
         let seq = self.next_coll_seq();
         let rank = self.rank();
         let size = self.size();
@@ -89,6 +103,7 @@ impl Comm {
         value: T,
         virtual_len: u64,
     ) -> Result<Option<Vec<T>>, MpiError> {
+        let _span = self.coll_span("rmpi.coll.gather", Some(root));
         let seq = self.next_coll_seq();
         let rank = self.rank();
         let size = self.size();
@@ -117,6 +132,7 @@ impl Comm {
         value: T,
         virtual_len: u64,
     ) -> Result<Vec<T>, MpiError> {
+        let _span = self.coll_span("rmpi.coll.allgather", None);
         let n = self.size() as u64;
         let gathered = self.gather(0, value, virtual_len)?;
         self.bcast(0, gathered, virtual_len * n)
@@ -129,6 +145,7 @@ impl Comm {
         virtual_len: u64,
         combine: impl Fn(T, T) -> T,
     ) -> Result<T, MpiError> {
+        let _span = self.coll_span("rmpi.coll.allreduce", None);
         let gathered = self.gather(0, value, virtual_len)?;
         let reduced = gathered.map(|vs| {
             let mut it = vs.into_iter();

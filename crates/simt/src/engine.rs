@@ -93,6 +93,25 @@ pub struct Inner {
     /// Wait-graph bookkeeping fed by the sync primitives; never locked while
     /// `state` is held (and vice versa) so the two cannot deadlock.
     pub(crate) diag: Mutex<crate::diag::DiagState>,
+    /// Optional lifecycle observer (tracing). Callbacks run on the green
+    /// thread itself while it holds the run token, so anything the observer
+    /// records is ordered exactly like the thread's own work.
+    observer: Mutex<Option<Arc<dyn TaskObserver>>>,
+}
+
+/// Hook notified when green threads begin and finish executing. Installed
+/// per-`Sim` via [`Sim::set_observer`]; used by the `obs` crate to open a
+/// span per simulated task without `simt` depending on the tracer.
+///
+/// `task_started` fires on the green thread right before its body runs (at
+/// the virtual time of its first wake); `task_finished` fires on the same
+/// thread right after the body returns or panics. Neither callback may
+/// block.
+pub trait TaskObserver: Send + Sync {
+    /// A green thread is about to run its body.
+    fn task_started(&self, tid: TaskId, name: &str, daemon: bool);
+    /// A green thread's body returned (or unwound).
+    fn task_finished(&self, tid: TaskId);
 }
 
 thread_local! {
@@ -225,7 +244,15 @@ impl Inner {
                 let payload = if shutting_down {
                     None
                 } else {
-                    panic::catch_unwind(AssertUnwindSafe(f)).err()
+                    let observer = inner.observer.lock().clone();
+                    if let Some(obs) = &observer {
+                        obs.task_started(tid, &name, daemon);
+                    }
+                    let payload = panic::catch_unwind(AssertUnwindSafe(f)).err();
+                    if let Some(obs) = &observer {
+                        obs.task_finished(tid);
+                    }
+                    payload
                 };
                 inner.thread_finished(tid, payload);
             })
@@ -366,8 +393,16 @@ impl Sim {
                 engine_gate: Gate::new(),
                 stack_size,
                 diag: Mutex::new(crate::diag::DiagState::default()),
+                observer: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install a [`TaskObserver`] notified as green threads start and finish.
+    /// Threads already running are not retroactively reported; install the
+    /// observer before spawning the workload.
+    pub fn set_observer(&self, observer: Arc<dyn TaskObserver>) {
+        *self.inner.observer.lock() = Some(observer);
     }
 
     /// Spawn a green thread runnable at the current virtual time.

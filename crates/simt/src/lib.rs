@@ -50,7 +50,7 @@ pub mod sync;
 pub mod time;
 
 pub use cpu::Cpu;
-pub use engine::{Sim, SimError, SimReport, TaskId};
+pub use engine::{Sim, SimError, SimReport, TaskId, TaskObserver};
 pub use rng::SeededRng;
 pub use time::{Duration, Instant};
 

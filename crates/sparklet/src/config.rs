@@ -143,6 +143,11 @@ pub struct SparkConf {
     /// don't retry in lockstep, yet every run with the same seed replays
     /// identically.
     pub retry_seed: u64,
+    /// Record tracing spans during the run and export a deterministic
+    /// Chrome-trace timeline (virtual-time ticks). Off by default: spans
+    /// cost host memory, never virtual time, so enabling it does not
+    /// perturb simulated results.
+    pub trace_timeline: bool,
     /// Compute cost model.
     pub cost: CostModel,
 }
@@ -164,6 +169,7 @@ impl Default for SparkConf {
             fetch_timeout_ns: simt::time::secs(120),
             plane_failure_threshold: 3,
             retry_seed: 0,
+            trace_timeline: false,
             cost: CostModel::default(),
         }
     }

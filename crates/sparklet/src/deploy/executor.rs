@@ -62,6 +62,16 @@ impl RpcEndpoint for ExecutorEndpoint {
             // One green thread per running task = one occupied task slot;
             // slot accounting lives in the driver's scheduler.
             simt::spawn_daemon(name, move || {
+                let obs = services.net.obs().clone();
+                let _span = obs.is_traced().then(|| {
+                    obs.span(
+                        "spark.task",
+                        obs::kv! {"stage_seq" => task.stage_seq,
+                        "part" => task.part,
+                        "attempt" => task.attempt,
+                        "exec" => services.exec_id},
+                    )
+                });
                 let ctx = TaskContext::new(services.clone(), task.part, task.attempt);
                 ctx.charge(ctx.cost().task_overhead_ns);
                 let t0 = simt::now();
@@ -77,9 +87,9 @@ impl RpcEndpoint for ExecutorEndpoint {
                         Err(other) => std::panic::resume_unwind(other),
                     },
                 };
-                let mut metrics = *ctx.metrics.lock();
-                metrics.run_ns = simt::now() - t0;
-                let wire = 256 + metrics.result_bytes;
+                ctx.metrics.counter(obs::keys::TASK_RUN_NS).add(simt::now() - t0);
+                let metrics = ctx.metrics.snapshot();
+                let wire = 256 + metrics.counter(obs::keys::TASK_RESULT_BYTES);
                 let _ = driver.send_sized(
                     TaskFinishedMsg {
                         stage_seq: task.stage_seq,
@@ -142,6 +152,7 @@ pub fn executor_main(args: ExecutorArgs, ext: Option<Arc<dyn Any + Send + Sync>>
         fallback,
         RetryConf::from_spark(&args.conf),
         args.spec.exec_id as u64 + 1,
+        args.net.obs().clone(),
     );
     let driver_sched = env.endpoint_ref(args.spec.driver_sched_addr, "DagScheduler");
     let tracker_ref = env.endpoint_ref(args.spec.driver_sched_addr, "MapOutputTracker");

@@ -360,10 +360,7 @@ pub struct ResultTask<T: Element, R: Send + Sync + 'static> {
 impl<T: Element, R: Send + Sync + 'static> TaskRunner for ResultTask<T, R> {
     fn run(&self, ctx: &TaskContext) -> TaskOutput {
         let data = self.ops.compute(self.part, ctx);
-        {
-            let mut m = ctx.metrics.lock();
-            m.records_out += data.len() as u64;
-        }
+        ctx.metrics.counter(obs::keys::TASK_RECORDS_OUT).add(data.len() as u64);
         TaskOutput::Result(Arc::new((self.f)(ctx, data)))
     }
 }

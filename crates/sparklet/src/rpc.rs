@@ -139,6 +139,11 @@ impl RpcEnv {
         self.server.node()
     }
 
+    /// The fabric's observability handle (tracer + metrics registry).
+    pub fn obs(&self) -> &obs::Obs {
+        self.server.net().obs()
+    }
+
     /// Serve named streams from this environment (jar/file distribution;
     /// Spark's `NettyStreamManager`). Streams are answered with
     /// `StreamResponse` — one of the two message types whose body

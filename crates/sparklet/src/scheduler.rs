@@ -22,9 +22,12 @@ use crate::rdd::ops::{GenerateRdd, ParallelizeRdd};
 use crate::rdd::{AppCore, JobRunner, JobSpec, Rdd, TaskOutput, TaskRunner};
 use crate::rpc::{AnyMsg, ReplyFn, RpcEndpoint, RpcEnv, RpcRef};
 use crate::shuffle::MapOutputTrackerMaster;
-use crate::task::TaskMetrics;
 
 /// Timing and traffic for one stage.
+///
+/// Traffic figures are the merged [`obs::MetricsSnapshot`]s of the stage's
+/// tasks; read them through the accessors (or query the snapshot directly
+/// with the `task.*` keys in [`obs::keys`]).
 #[derive(Debug, Clone)]
 pub struct StageMetrics {
     /// Stage label (`Job1-ShuffleMapStage`, `Job1-ResultStage`, ...).
@@ -35,21 +38,34 @@ pub struct StageMetrics {
     pub end_ns: u64,
     /// Task count.
     pub tasks: usize,
-    /// Total time tasks spent blocked on remote shuffle data.
-    pub fetch_wait_ns: u64,
-    /// Virtual bytes fetched from remote executors.
-    pub remote_bytes: u64,
-    /// Virtual bytes read from local blocks.
-    pub local_bytes: u64,
-    /// Fetch re-requests the retry layer performed across the stage's tasks
-    /// (0 on a healthy run).
-    pub fetch_retries: u64,
+    /// Merged per-task metrics snapshots.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl StageMetrics {
     /// Wall (virtual) duration.
     pub fn duration_ns(&self) -> u64 {
         self.end_ns - self.start_ns
+    }
+
+    /// Total time tasks spent blocked on remote shuffle data (ns).
+    pub fn fetch_wait_ns(&self) -> u64 {
+        self.metrics.counter(obs::keys::TASK_FETCH_WAIT_NS)
+    }
+
+    /// Virtual bytes fetched from remote executors.
+    pub fn remote_bytes(&self) -> u64 {
+        self.metrics.counter(obs::keys::TASK_REMOTE_BYTES)
+    }
+
+    /// Virtual bytes read from local blocks.
+    pub fn local_bytes(&self) -> u64 {
+        self.metrics.counter(obs::keys::TASK_LOCAL_BYTES)
+    }
+
+    /// Records produced across the stage's tasks.
+    pub fn records_out(&self) -> u64 {
+        self.metrics.counter(obs::keys::TASK_RECORDS_OUT)
     }
 }
 
@@ -75,8 +91,38 @@ impl JobMetrics {
     }
 
     /// Duration of the stage whose name contains `fragment`, if any.
+    ///
+    /// Stages that share one name (a retried stage reruns under its
+    /// original label) resolve to the first run. A fragment matching stages
+    /// with *distinct* names is ambiguous and panics — the old behaviour
+    /// silently returned whichever matching stage was recorded first, which
+    /// made e.g. `"ShuffleMapStage"` quietly pick between a primary run and
+    /// a `-retry` recomputation.
     pub fn stage_duration(&self, fragment: &str) -> Option<u64> {
-        self.stages.iter().find(|s| s.name.contains(fragment)).map(StageMetrics::duration_ns)
+        let matched: Vec<&StageMetrics> =
+            self.stages.iter().filter(|s| s.name.contains(fragment)).collect();
+        let first = *matched.first()?;
+        let distinct: BTreeSet<&str> = matched.iter().map(|s| s.name.as_str()).collect();
+        assert!(
+            distinct.len() == 1,
+            "ambiguous stage fragment {fragment:?}: matches distinct stages {distinct:?}; \
+             pass a fragment that selects exactly one stage name"
+        );
+        Some(first.duration_ns())
+    }
+
+    /// Aggregate fetch-wait over all stages.
+    #[doc(hidden)]
+    #[deprecated(note = "read StageMetrics::fetch_wait_ns per stage instead")]
+    pub fn fetch_wait_ns(&self) -> u64 {
+        self.stages.iter().map(StageMetrics::fetch_wait_ns).sum()
+    }
+
+    /// Aggregate remote bytes over all stages.
+    #[doc(hidden)]
+    #[deprecated(note = "read StageMetrics::remote_bytes per stage instead")]
+    pub fn remote_bytes(&self) -> u64 {
+        self.stages.iter().map(StageMetrics::remote_bytes).sum()
     }
 }
 
@@ -114,8 +160,8 @@ pub struct TaskFinishedMsg {
     pub exec_id: usize,
     /// The output (taken once by the scheduler).
     pub output: Mutex<Option<TaskOutput>>,
-    /// Task metrics.
-    pub metrics: TaskMetrics,
+    /// Snapshot of the task's metrics registry.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// Executor stop command (one-way).
@@ -135,7 +181,7 @@ enum SchedEvent {
         part: usize,
         exec_id: usize,
         output: TaskOutput,
-        metrics: TaskMetrics,
+        metrics: obs::MetricsSnapshot,
     },
 }
 
@@ -220,11 +266,21 @@ impl DagScheduler {
         self.metrics.lock().clone()
     }
 
+    /// The driver's observability handle (disabled until the RPC
+    /// environment is attached).
+    fn obs(&self) -> obs::Obs {
+        self.env.get().map(|e| e.obs().clone()).unwrap_or_else(obs::Obs::disabled)
+    }
+
     fn run_stage(
         &self,
         name: String,
         tasks: Vec<(usize, Arc<dyn TaskRunner>)>,
     ) -> (StageMetrics, Vec<(usize, TaskOutput)>) {
+        let obs = self.obs();
+        let _span = obs
+            .is_traced()
+            .then(|| obs.span("spark.stage", obs::kv! {"name" => &name, "tasks" => tasks.len()}));
         let stage_seq = self.next_stage_seq.fetch_add(1, Ordering::Relaxed);
         let quarantined = self.quarantined.lock().clone();
         let execs: Vec<ExecutorHandle> =
@@ -264,10 +320,7 @@ impl DagScheduler {
 
         let mut outputs: Vec<(usize, TaskOutput)> = Vec::with_capacity(n);
         let mut done = 0usize;
-        let mut fetch_wait = 0u64;
-        let mut remote_bytes = 0u64;
-        let mut local_bytes = 0u64;
-        let mut fetch_retries = 0u64;
+        let mut stage_snapshot = obs::MetricsSnapshot::default();
         while done < n {
             match self.events.recv().expect("scheduler event queue open") {
                 SchedEvent::ExecutorRegistered => {}
@@ -279,25 +332,13 @@ impl DagScheduler {
                     free[slot] += 1;
                     dispatch(slot, &mut free, &mut queues);
                     outputs.push((part, output));
-                    fetch_wait += metrics.shuffle_fetch_wait_ns;
-                    remote_bytes += metrics.remote_bytes;
-                    local_bytes += metrics.local_bytes;
-                    fetch_retries += metrics.fetch_retries;
+                    stage_snapshot.merge(&metrics);
                     done += 1;
                 }
             }
         }
         (
-            StageMetrics {
-                name,
-                start_ns,
-                end_ns: simt::now(),
-                tasks: n,
-                fetch_wait_ns: fetch_wait,
-                remote_bytes,
-                local_bytes,
-                fetch_retries,
-            },
+            StageMetrics { name, start_ns, end_ns: simt::now(), tasks: n, metrics: stage_snapshot },
             outputs,
         )
     }
@@ -310,6 +351,10 @@ impl JobRunner for DagScheduler {
             "concurrent jobs are not supported; run jobs sequentially from one driver thread"
         );
         let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let obs = self.obs();
+        let _span = obs
+            .is_traced()
+            .then(|| obs.span("spark.job", obs::kv! {"job_id" => job_id, "action" => &job.action}));
         let start_ns = simt::now();
         let mut stages = Vec::new();
 
@@ -445,7 +490,7 @@ impl RpcEndpoint for DagScheduler {
                 part: fin.part,
                 exec_id: fin.exec_id,
                 output,
-                metrics: fin.metrics,
+                metrics: fin.metrics.clone(),
             });
         }
     }

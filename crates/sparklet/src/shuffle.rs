@@ -209,6 +209,10 @@ pub fn write_shuffle<T: Element>(
 /// Read every block of `reduce_id`, local blocks directly and remote blocks
 /// through the batched fetcher. Returns the decoded records.
 pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u32) -> Vec<T> {
+    let obs = ctx.services.net.obs().clone();
+    let _span = obs.is_traced().then(|| {
+        obs.span("spark.shuffle.fetch", obs::kv! {"shuffle" => shuffle_id, "reduce" => reduce_id})
+    });
     let statuses = ctx.services.map_outputs.get(shuffle_id);
     let conf = &ctx.services.conf;
     let cost = ctx.cost();
@@ -301,12 +305,10 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         out.extend(decode_batch::<T>(&b.data));
     }
 
-    let mut fetch_retries = 0u64;
     while open_reqs > 0 {
         let t0 = simt::now();
         let res = sink.recv().expect("fetch sink open");
         fetch_wait += simt::now() - t0;
-        fetch_retries += res.retries as u64;
         let blocks = match res.result {
             Ok(b) => b,
             Err(_e) => {
@@ -340,11 +342,9 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         }
     }
 
-    let mut m = ctx.metrics.lock();
-    m.shuffle_fetch_wait_ns += fetch_wait;
-    m.remote_bytes += remote_bytes;
-    m.local_bytes += local_bytes;
-    m.fetch_retries += fetch_retries;
+    ctx.metrics.counter(obs::keys::TASK_FETCH_WAIT_NS).add(fetch_wait);
+    ctx.metrics.counter(obs::keys::TASK_REMOTE_BYTES).add(remote_bytes);
+    ctx.metrics.counter(obs::keys::TASK_LOCAL_BYTES).add(local_bytes);
     out
 }
 

@@ -59,28 +59,6 @@ impl ExecutorServices {
     }
 }
 
-/// Metrics accumulated by one task.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct TaskMetrics {
-    /// Time spent blocked waiting for remote shuffle data (ns).
-    pub shuffle_fetch_wait_ns: u64,
-    /// Virtual bytes fetched from remote executors.
-    pub remote_bytes: u64,
-    /// Virtual bytes read from local shuffle blocks.
-    pub local_bytes: u64,
-    /// Fetch re-requests the retry layer spent completing this task's
-    /// shuffle reads (0 on a healthy run).
-    pub fetch_retries: u64,
-    /// Records produced by the task.
-    pub records_out: u64,
-    /// Virtual size of the task's result value (charged on the wire when
-    /// the completion message travels back to the driver; ML aggregations
-    /// set this to their partial-aggregate size).
-    pub result_bytes: u64,
-    /// Total task wall time (ns), filled by the executor.
-    pub run_ns: u64,
-}
-
 /// Context handed to a running task.
 pub struct TaskContext {
     /// Executor services.
@@ -89,14 +67,18 @@ pub struct TaskContext {
     pub partition: usize,
     /// Attempt number (0 on first try).
     pub attempt: u32,
-    /// Mutable task metrics.
-    pub metrics: Mutex<TaskMetrics>,
+    /// Per-task metrics registry. Task code records through typed handles
+    /// under the `task.*` keys in [`obs::keys`]; the executor snapshots the
+    /// registry when the task finishes and ships the
+    /// [`obs::MetricsSnapshot`] to the scheduler, which merges snapshots
+    /// per stage.
+    pub metrics: obs::Registry,
 }
 
 impl TaskContext {
     /// Build a context for `partition`.
     pub fn new(services: Arc<ExecutorServices>, partition: usize, attempt: u32) -> Self {
-        TaskContext { services, partition, attempt, metrics: Mutex::new(TaskMetrics::default()) }
+        TaskContext { services, partition, attempt, metrics: obs::Registry::new() }
     }
 
     /// Charge `work_ns` of compute against the executor's node CPU.

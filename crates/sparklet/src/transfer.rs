@@ -90,9 +90,6 @@ pub struct FetchResult {
     pub chunk_index: u32,
     /// True on the final result of the originating `fetch_blocks` call.
     pub last: bool,
-    /// Retries this fetch consumed before completing; reported on the
-    /// `last` result only (zero elsewhere) so sums count each fetch once.
-    pub retries: u32,
     /// Decoded per-block data, ordered as `blocks`.
     pub result: Result<Vec<StoredBlock>, FetchError>,
 }
@@ -306,13 +303,7 @@ impl BlockTransferService for NettyBlockTransferService {
         // per-chunk structure: one `Err` covering the whole request is the
         // honest report, and the retry layer above re-requests per block.
         let fail = |sink: &Queue<FetchResult>, blocks: Vec<BlockId>, e: FetchError| {
-            sink.send(FetchResult {
-                blocks,
-                chunk_index: 0,
-                last: true,
-                retries: 0,
-                result: Err(e),
-            });
+            sink.send(FetchResult { blocks, chunk_index: 0, last: true, result: Err(e) });
         };
         let client = match self.client(remote) {
             Ok(c) => c,
@@ -364,13 +355,7 @@ impl BlockTransferService for NettyBlockTransferService {
                     };
                     let covered = if per_block { vec![blocks[i]] } else { blocks.as_ref().clone() };
                     let last = done.fetch_add(1, Ordering::Relaxed) + 1 == n_chunks;
-                    sink.send(FetchResult {
-                        blocks: covered,
-                        chunk_index: i as u32,
-                        last,
-                        retries: 0,
-                        result,
-                    });
+                    sink.send(FetchResult { blocks: covered, chunk_index: i as u32, last, result });
                 }),
             );
         }
@@ -430,7 +415,8 @@ struct RetryInner {
     /// the fallback service.
     degraded: AtomicBool,
     consecutive_plane_failures: AtomicU32,
-    retries_performed: AtomicU64,
+    obs: obs::Obs,
+    retries: obs::Counter,
     rng: Mutex<SeededRng>,
 }
 
@@ -447,13 +433,18 @@ impl RetryingBlockFetcher {
     /// Wrap `primary`. `fallback`, when present, is an independent service
     /// on the degraded plane (plain sockets); `salt` decorrelates this
     /// process's jitter stream from its peers' without breaking seed replay.
+    /// Re-requests are counted on `obs`'s registry under
+    /// [`obs::keys::SPARK_FETCH_RETRIES`] (and traced as
+    /// `spark.fetch.retry` events).
     pub fn new(
         primary: Arc<dyn BlockTransferService>,
         fallback: Option<Arc<dyn BlockTransferService>>,
         conf: RetryConf,
         salt: u64,
+        obs: obs::Obs,
     ) -> Arc<Self> {
         let rng = SeededRng::from_seed(conf.seed).fork(salt);
+        let retries = obs.registry().counter(obs::keys::SPARK_FETCH_RETRIES);
         Arc::new(RetryingBlockFetcher {
             inner: Arc::new(RetryInner {
                 primary,
@@ -461,15 +452,11 @@ impl RetryingBlockFetcher {
                 conf,
                 degraded: AtomicBool::new(false),
                 consecutive_plane_failures: AtomicU32::new(0),
-                retries_performed: AtomicU64::new(0),
+                obs,
+                retries,
                 rng: Mutex::new(rng),
             }),
         })
-    }
-
-    /// Total re-requests issued across all fetches (tests/reports).
-    pub fn retries_performed(&self) -> u64 {
-        self.inner.retries_performed.load(Ordering::Relaxed)
     }
 
     /// True once the primary plane has been abandoned for the fallback.
@@ -534,7 +521,6 @@ impl RetryInner {
                             blocks: res.blocks,
                             chunk_index: res.chunk_index,
                             last: finished,
-                            retries: if finished { retries } else { 0 },
                             result: Ok(data),
                         });
                         if finished {
@@ -565,7 +551,6 @@ impl RetryInner {
                         blocks: vec![b],
                         chunk_index: 0,
                         last: i + 1 == n,
-                        retries,
                         result: Err(last_error.clone()),
                     });
                 }
@@ -577,7 +562,14 @@ impl RetryInner {
             };
             simt::sleep(backoff);
             retries += 1;
-            self.retries_performed.fetch_add(1, Ordering::Relaxed);
+            self.retries.inc();
+            self.obs.event(
+                "spark.fetch.retry",
+                obs::kv! {"remote" => remote.node,
+                "attempt" => retries,
+                "missing" => missing.len(),
+                "degraded" => self.degraded.load(Ordering::Relaxed)},
+            );
         }
     }
 }

@@ -199,9 +199,9 @@ fn stage_metrics_track_remote_bytes() {
     let job = &metrics[0];
     let result_stage = job.stages.iter().find(|s| s.name.contains("ResultStage")).unwrap();
     // 3 executors → roughly 2/3 of shuffle traffic is remote.
-    assert!(result_stage.remote_bytes > 0);
-    assert!(result_stage.fetch_wait_ns > 0);
-    let total = result_stage.remote_bytes + result_stage.local_bytes;
+    assert!(result_stage.remote_bytes() > 0);
+    assert!(result_stage.fetch_wait_ns() > 0);
+    let total = result_stage.remote_bytes() + result_stage.local_bytes();
     assert!(total >= 90 * (1 << 16));
 }
 
@@ -275,9 +275,9 @@ fn shuffle_output_is_bit_reproducible_across_runs() {
                             s.start_ns,
                             s.end_ns,
                             s.tasks,
-                            s.fetch_wait_ns,
-                            s.remote_bytes,
-                            s.local_bytes,
+                            s.fetch_wait_ns(),
+                            s.remote_bytes(),
+                            s.local_bytes(),
                         )
                     })
                     .collect();

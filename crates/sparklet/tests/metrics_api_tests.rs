@@ -1,0 +1,69 @@
+//! The registry-backed metrics surface: `StageMetrics` accessors read the
+//! merged snapshot, and `JobMetrics::stage_duration` refuses ambiguous
+//! fragments instead of silently returning the first match (the old bug:
+//! `"ShuffleMapStage"` would quietly pick between a primary run and its
+//! `-retry` recomputation).
+
+use sparklet::scheduler::{JobMetrics, StageMetrics};
+
+fn stage(name: &str, start_ns: u64, end_ns: u64) -> StageMetrics {
+    StageMetrics {
+        name: name.to_string(),
+        start_ns,
+        end_ns,
+        tasks: 1,
+        metrics: obs::MetricsSnapshot::default(),
+    }
+}
+
+fn job(stages: Vec<StageMetrics>) -> JobMetrics {
+    JobMetrics { job_id: 0, action: "collect".to_string(), start_ns: 0, end_ns: 100, stages }
+}
+
+#[test]
+fn unique_fragment_resolves_and_missing_is_none() {
+    let j = job(vec![stage("Job0-ShuffleMapStage", 0, 40), stage("Job0-ResultStage", 40, 100)]);
+    assert_eq!(j.stage_duration("ResultStage"), Some(60));
+    assert_eq!(j.stage_duration("ShuffleMapStage"), Some(40));
+    assert_eq!(j.stage_duration("NoSuchStage"), None);
+}
+
+#[test]
+#[should_panic(expected = "ambiguous stage fragment")]
+fn fragment_matching_distinct_stage_names_panics() {
+    let j = job(vec![stage("Job0-ShuffleMapStage", 0, 40), stage("Job0-ResultStage", 40, 100)]);
+    // "Stage" matches both stages — the old API silently returned the
+    // ShuffleMapStage duration here.
+    let _ = j.stage_duration("Stage");
+}
+
+#[test]
+fn identically_named_stage_retries_resolve_to_the_first_run() {
+    // A stage retry reruns under its original label; the fragment is not
+    // ambiguous (one distinct name) and resolves to the first run.
+    let j = job(vec![stage("Job0-ShuffleMapStage", 0, 40), stage("Job0-ShuffleMapStage", 50, 70)]);
+    assert_eq!(j.stage_duration("ShuffleMapStage"), Some(40));
+}
+
+#[test]
+fn stage_accessors_read_the_merged_snapshot() {
+    let reg = obs::Registry::new();
+    reg.counter(obs::keys::TASK_FETCH_WAIT_NS).add(7);
+    reg.counter(obs::keys::TASK_REMOTE_BYTES).add(100);
+    reg.counter(obs::keys::TASK_LOCAL_BYTES).add(30);
+    reg.counter(obs::keys::TASK_RECORDS_OUT).add(5);
+    let mut s = stage("Job0-ResultStage", 0, 10);
+    s.metrics = reg.snapshot();
+    assert_eq!(s.fetch_wait_ns(), 7);
+    assert_eq!(s.remote_bytes(), 100);
+    assert_eq!(s.local_bytes(), 30);
+    assert_eq!(s.records_out(), 5);
+
+    // The deprecated job-level aggregates still sum over stages.
+    let j = job(vec![s]);
+    #[allow(deprecated)]
+    {
+        assert_eq!(j.fetch_wait_ns(), 7);
+        assert_eq!(j.remote_bytes(), 100);
+    }
+}

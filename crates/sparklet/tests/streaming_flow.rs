@@ -72,7 +72,6 @@ impl BlockTransferService for ScriptedTransfer {
                     blocks: vec![blocks[i]],
                     chunk_index: i as u32,
                     last: i + 1 == n,
-                    retries: 0,
                     result: Ok(vec![block_for(blocks[i])]),
                 });
             }
@@ -177,8 +176,7 @@ fn follow_on_request_departs_before_first_requests_last_chunk() {
             last_chunk
         );
 
-        let m = ctx.metrics.lock();
-        assert_eq!(m.remote_bytes, 40);
+        assert_eq!(ctx.metrics.snapshot().counter(obs::keys::TASK_REMOTE_BYTES), 40);
     });
     sim.run().unwrap().assert_clean();
     sim.shutdown();

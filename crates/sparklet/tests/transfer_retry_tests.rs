@@ -51,8 +51,9 @@ fn conf() -> RetryConf {
 }
 
 /// Drain `sink` until the `last` result, partitioning covered blocks by
-/// outcome and returning the retry count reported on the final result.
-fn drain(sink: &Queue<FetchResult>) -> (Vec<BlockId>, Vec<BlockId>, u32) {
+/// outcome. Retry counts are read off the fetcher's registry
+/// (`obs::keys::SPARK_FETCH_RETRIES`), not the results themselves.
+fn drain(sink: &Queue<FetchResult>) -> (Vec<BlockId>, Vec<BlockId>) {
     let (mut ok, mut err) = (Vec::new(), Vec::new());
     loop {
         let r = sink.recv().expect("fetch emits a terminal result");
@@ -61,9 +62,14 @@ fn drain(sink: &Queue<FetchResult>) -> (Vec<BlockId>, Vec<BlockId>, u32) {
             Err(_) => err.extend(r.blocks.iter().copied()),
         }
         if r.last {
-            return (ok, err, r.retries);
+            return (ok, err);
         }
     }
+}
+
+/// Process-wide fetch-retry count recorded on `obs`'s registry.
+fn retries_on(obs: &obs::Obs) -> u64 {
+    obs.registry().snapshot().counter(obs::keys::SPARK_FETCH_RETRIES)
 }
 
 // --- the real wire: per-block failure granularity ---------------------------
@@ -93,7 +99,7 @@ fn one_bad_chunk_does_not_fail_sibling_blocks_on_the_real_wire() {
         let sink = Queue::new();
         client.fetch_blocks(server_ep.addr(), vec![bid(0), bid(1), bid(2)], sink.clone());
 
-        let (mut ok, err, _) = drain(&sink);
+        let (mut ok, err) = drain(&sink);
         ok.sort();
         assert_eq!(ok, vec![bid(0), bid(2)], "sibling blocks must decode");
         assert_eq!(err, vec![bid(1)], "only the bad chunk's block may fail");
@@ -140,7 +146,6 @@ fn ok_result(blocks: &[BlockId], i: usize, last: bool) -> FetchResult {
         blocks: vec![blocks[i]],
         chunk_index: i as u32,
         last,
-        retries: 0,
         result: Ok(vec![block_for(match blocks[i] {
             BlockId::Shuffle { map_id, .. } => map_id,
             _ => 0,
@@ -165,7 +170,6 @@ fn transient_failure_is_retried_for_the_missing_block_only() {
                         blocks: vec![bid(1)],
                         chunk_index: i as u32,
                         last,
-                        retries: 0,
                         result: Err(FetchError::request("corrupt chunk")),
                     });
                 } else {
@@ -173,15 +177,15 @@ fn transient_failure_is_retried_for_the_missing_block_only() {
                 }
             }
         });
-        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, conf(), 1);
+        let obs = obs::Obs::disabled();
+        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, conf(), 1, obs.clone());
         let sink = Queue::new();
         fetcher.fetch_blocks(remote(), vec![bid(0), bid(1), bid(2)], sink.clone());
-        let (mut ok, err, retries) = drain(&sink);
+        let (mut ok, err) = drain(&sink);
         ok.sort();
         assert_eq!(ok, vec![bid(0), bid(1), bid(2)], "every block recovers");
         assert!(err.is_empty());
-        assert_eq!(retries, 1, "the last result reports the fetch's retry count");
-        assert_eq!(fetcher.retries_performed(), 1);
+        assert_eq!(retries_on(&obs), 1, "the registry reports the fetch's retry count");
         assert!(!fetcher.degraded(), "request-scoped failures must not degrade the plane");
         let calls = primary.calls.lock().clone();
         assert_eq!(calls[0], vec![bid(0), bid(1), bid(2)]);
@@ -209,15 +213,16 @@ fn stalled_attempt_times_out_and_reissues_missing_chunks() {
                 sink.send(ok_result(blocks, i, last));
             }
         });
-        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, conf(), 1);
+        let obs = obs::Obs::disabled();
+        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, conf(), 1, obs.clone());
         let sink = Queue::new();
         let t0 = simt::now();
         fetcher.fetch_blocks(remote(), vec![bid(0), bid(1), bid(2)], sink.clone());
-        let (mut ok, err, retries) = drain(&sink);
+        let (mut ok, err) = drain(&sink);
         ok.sort();
         assert_eq!(ok, vec![bid(0), bid(1), bid(2)]);
         assert!(err.is_empty());
-        assert_eq!(retries, 1);
+        assert_eq!(retries_on(&obs), 1);
         assert!(
             simt::now() - t0 >= conf().fetch_timeout_ns,
             "recovery must have waited out the stall"
@@ -240,7 +245,6 @@ fn consecutive_plane_failures_degrade_to_the_fallback_service() {
                 blocks: blocks.to_vec(),
                 chunk_index: 0,
                 last: true,
-                retries: 0,
                 result: Err(FetchError::plane("plane down")),
             });
         });
@@ -249,10 +253,17 @@ fn consecutive_plane_failures_degrade_to_the_fallback_service() {
                 sink.send(ok_result(blocks, i, i + 1 == blocks.len()));
             }
         });
-        let fetcher = RetryingBlockFetcher::new(primary.clone(), Some(fallback.clone()), conf(), 1);
+        let obs = obs::Obs::disabled();
+        let fetcher = RetryingBlockFetcher::new(
+            primary.clone(),
+            Some(fallback.clone()),
+            conf(),
+            1,
+            obs.clone(),
+        );
         let sink = Queue::new();
         fetcher.fetch_blocks(remote(), vec![bid(0), bid(1)], sink.clone());
-        let (mut ok, err, retries) = drain(&sink);
+        let (mut ok, err) = drain(&sink);
         ok.sort();
         assert_eq!(ok, vec![bid(0), bid(1)], "the fallback plane completes the fetch");
         assert!(err.is_empty());
@@ -260,12 +271,16 @@ fn consecutive_plane_failures_degrade_to_the_fallback_service() {
         let threshold = conf().plane_failure_threshold;
         assert_eq!(primary.calls.lock().len() as u32, threshold, "primary dropped at threshold");
         assert_eq!(fallback.calls.lock().len(), 1);
-        assert_eq!(retries, threshold, "each failed primary attempt counts as a retry");
+        assert_eq!(
+            retries_on(&obs),
+            u64::from(threshold),
+            "each failed primary attempt counts as a retry"
+        );
 
         // Sticky: the next fetch goes straight to the fallback.
         let sink2 = Queue::new();
         fetcher.fetch_blocks(remote(), vec![bid(2)], sink2.clone());
-        let (ok2, _, _) = drain(&sink2);
+        let (ok2, _) = drain(&sink2);
         assert_eq!(ok2, vec![bid(2)]);
         assert_eq!(primary.calls.lock().len() as u32, threshold, "primary never consulted again");
     });
@@ -288,7 +303,6 @@ fn exhausted_retries_fail_only_the_still_missing_blocks() {
                         blocks: vec![bid(1)],
                         chunk_index: i as u32,
                         last,
-                        retries: 0,
                         result: Err(FetchError::request("permanently corrupt")),
                     });
                 } else {
@@ -298,14 +312,15 @@ fn exhausted_retries_fail_only_the_still_missing_blocks() {
         });
         let mut c = conf();
         c.max_retries = 1;
-        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, c, 1);
+        let obs = obs::Obs::disabled();
+        let fetcher = RetryingBlockFetcher::new(primary.clone(), None, c, 1, obs.clone());
         let sink = Queue::new();
         fetcher.fetch_blocks(remote(), vec![bid(0), bid(1), bid(2)], sink.clone());
-        let (mut ok, err, retries) = drain(&sink);
+        let (mut ok, err) = drain(&sink);
         ok.sort();
         assert_eq!(ok, vec![bid(0), bid(2)], "siblings delivered despite exhaustion");
         assert_eq!(err, vec![bid(1)], "the terminal error covers only the lost block");
-        assert_eq!(retries, 1, "budget fully spent before giving up");
+        assert_eq!(retries_on(&obs), 1, "budget fully spent before giving up");
         assert!(!fetcher.degraded());
         assert_eq!(primary.calls.lock().len(), 2);
     });

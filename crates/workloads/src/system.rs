@@ -53,10 +53,13 @@ pub struct RunOutcome<R> {
     pub result: R,
     /// Per-job metrics in submission order.
     pub jobs: Vec<JobMetrics>,
-    /// Messages the chaos plan dropped (0 without a plan).
-    pub chaos_dropped: u64,
-    /// Messages the chaos plan delayed (0 without a plan).
-    pub chaos_delayed: u64,
+    /// Final metrics snapshot of the run's registry (fabric, netz, and
+    /// process-wide spark counters; per-task counters live in
+    /// [`JobMetrics`] stage snapshots).
+    pub metrics: obs::MetricsSnapshot,
+    /// Chrome-trace timeline JSON, present when the run's `SparkConf` set
+    /// `trace_timeline`. Byte-identical across re-runs of the same seed.
+    pub timeline: Option<String>,
 }
 
 impl<R> RunOutcome<R> {
@@ -70,9 +73,19 @@ impl<R> RunOutcome<R> {
         self.jobs[job].stage_duration(fragment).unwrap_or(0)
     }
 
-    /// Fetch re-requests summed over every stage of every job.
+    /// Fetch re-requests the retry layer issued across the whole run.
     pub fn fetch_retries(&self) -> u64 {
-        self.jobs.iter().flat_map(|j| j.stages.iter()).map(|s| s.fetch_retries).sum()
+        self.metrics.counter(obs::keys::SPARK_FETCH_RETRIES)
+    }
+
+    /// Messages the chaos plan dropped (0 without a plan).
+    pub fn chaos_dropped(&self) -> u64 {
+        self.metrics.counter(obs::keys::NET_CHAOS_DROPPED_MSGS)
+    }
+
+    /// Messages the chaos plan delayed (0 without a plan).
+    pub fn chaos_delayed(&self) -> u64 {
+        self.metrics.counter(obs::keys::NET_CHAOS_DELAYED_MSGS)
     }
 }
 
@@ -123,7 +136,14 @@ impl System {
         app: impl FnOnce(&SparkContext) -> R + Send + 'static,
     ) -> RunOutcome<R> {
         let sim = Sim::new();
-        let net = Net::new(spec);
+        // One observability context per run: metrics always on, span
+        // recording (and the timeline export below) behind the conf flag.
+        let obs =
+            if cluster.conf.trace_timeline { obs::Obs::traced() } else { obs::Obs::disabled() };
+        let net = Net::with_obs(spec, obs.clone());
+        if obs.is_traced() {
+            sim.set_observer(Arc::new(obs::TaskSpans::new(&obs)));
+        }
         if let Some(plan) = chaos {
             net.install_chaos(plan);
         }
@@ -139,7 +159,6 @@ impl System {
             }
             Arc::new(b)
         };
-        let stats_net = net.clone();
         sim.spawn("launcher", move || {
             let r = match system {
                 System::Vanilla => sparklet::deploy::run_app(
@@ -170,11 +189,10 @@ impl System {
         });
         sim.run().expect("simulation completes").assert_clean();
         let (result, jobs) = out.try_take().expect("workload finished");
-        let stats = stats_net.stats();
-        let chaos_dropped = stats.chaos_dropped_msgs.load(std::sync::atomic::Ordering::Relaxed);
-        let chaos_delayed = stats.chaos_delayed_msgs.load(std::sync::atomic::Ordering::Relaxed);
+        let metrics = obs.registry().snapshot();
+        let timeline = obs.is_traced().then(|| obs.export_timeline());
         sim.shutdown();
-        RunOutcome { result, jobs, chaos_dropped, chaos_delayed }
+        RunOutcome { result, jobs, metrics, timeline }
     }
 }
 

@@ -1,0 +1,60 @@
+//! Deterministic timeline export through the full stack: running the same
+//! workload twice with `trace_timeline` on must produce *byte-identical*
+//! Chrome-trace JSON — the virtual clock, the span id counter, and the
+//! exporter's key ordering are all pure functions of the (seedless) program.
+//! Also pins that tracing is observation-only: it must not move a single
+//! virtual timestamp.
+
+use fabric::ClusterSpec;
+use sparklet::deploy::ClusterConfig;
+use sparklet::SparkConf;
+use workloads::{RunOutcome, System};
+
+fn run(trace: bool) -> RunOutcome<Vec<(u64, Vec<u64>)>> {
+    let spec = ClusterSpec::test(5);
+    let mut conf = SparkConf::default();
+    conf.executor_cores = 4;
+    conf.cost.task_overhead_ns = 10_000;
+    conf.trace_timeline = trace;
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf);
+    System::Mpi4Spark.run(&spec, cluster, |sc| {
+        let pairs: Vec<(u64, u64)> = (0..120u64).map(|i| (i % 11, i)).collect();
+        let mut groups = sc.parallelize(pairs, 6).group_by_key(4).collect();
+        groups.sort_by_key(|(k, _)| *k);
+        groups
+    })
+}
+
+#[test]
+fn same_program_exports_byte_identical_timeline() {
+    let a = run(true);
+    let b = run(true);
+    let ta = a.timeline.as_deref().expect("traced run exports a timeline");
+    let tb = b.timeline.as_deref().expect("traced run exports a timeline");
+    obs::timeline::validate_json(ta).expect("timeline is well-formed JSON");
+    assert_eq!(ta.as_bytes(), tb.as_bytes(), "timeline must be byte-identical across re-runs");
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.total_ns(), b.total_ns());
+    // The whole taxonomy shows up: engine, transport, and Spark layers.
+    for name in
+        ["simt.task", "netz.msg.send", "netz.msg.recv", "spark.job", "spark.stage", "spark.task"]
+    {
+        assert!(ta.contains(&format!("\"name\":\"{name}\"")), "timeline lacks {name} spans");
+    }
+}
+
+#[test]
+fn tracing_never_perturbs_virtual_time() {
+    // Spans cost host memory, never virtual time: the span-id header slot is
+    // present (as zero) even untraced, so wire sizes — and every virtual
+    // timestamp downstream — are identical with tracing on or off.
+    let traced = run(true);
+    let plain = run(false);
+    assert!(plain.timeline.is_none(), "untraced runs must not pay for an export");
+    assert_eq!(traced.result, plain.result);
+    assert_eq!(traced.total_ns(), plain.total_ns(), "tracing changed virtual timings");
+    assert_eq!(
+        traced.metrics, plain.metrics,
+        "tracing changed a metric — instrumentation must be observation-only"
+    );
+}

@@ -89,8 +89,8 @@ fn main() {
         println!(
             "{:>10}  {:>9} {:>9} {:>8} {:>10.2}  {}",
             system.label(),
-            out.chaos_dropped,
-            out.chaos_delayed,
+            out.chaos_dropped(),
+            out.chaos_delayed(),
             out.fetch_retries(),
             out.total_ns() as f64 / 1e6,
             if ok { "ok" } else { "WRONG RESULT" },

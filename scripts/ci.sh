@@ -44,6 +44,20 @@ fi
 echo "==> chaos smoke (randomized seed: CHAOS_SEED=$CHAOS_SEED)"
 CHAOS_SEED="$CHAOS_SEED" "$CARGO" test -q --release -p sparklet --test chaos_tests "$@" -- --ignored
 
+# Traced smoke: one small cell with the timeline exporter on, run twice.
+# The binary validates the JSON in-process; the `cmp` pins the exporter's
+# byte-stability guarantee (same program ⇒ identical trace bytes).
+echo "==> traced smoke (timeline export, double run + byte compare)"
+TRACE_TMP="${TMPDIR:-/tmp}/mpi4spark-trace-$$"
+rm -rf "$TRACE_TMP"
+SPARK_TRACE_DIR="$TRACE_TMP/a" "$CARGO" run -q --release -p mpi4spark-bench --bin traced_smoke "$@"
+SPARK_TRACE_DIR="$TRACE_TMP/b" "$CARGO" run -q --release -p mpi4spark-bench --bin traced_smoke "$@"
+cmp "$TRACE_TMP/a/GroupByTest-MPI-2w.json" "$TRACE_TMP/b/GroupByTest-MPI-2w.json" || {
+  echo "error: timeline export is not byte-stable across identical runs" >&2
+  exit 1
+}
+rm -rf "$TRACE_TMP"
+
 echo "==> detlint (determinism rules D1-D5)"
 "$CARGO" run -q --release -p detlint
 
