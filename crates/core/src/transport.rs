@@ -61,11 +61,28 @@ fn opt_tag(chan: ChannelId, key: u64) -> u64 {
 
 // =========================== Optimized design ===============================
 
+/// How the Optimized transport completes policy-routed bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BodyCompletion {
+    /// Legacy path: the endpoint event loop blocks in `recv_timeout` for
+    /// one body at a time — concurrent fetches into the same endpoint
+    /// serialize behind each other. Kept for the fan-in ablation.
+    Blocking,
+    /// Request path: each parsed header posts a nonblocking `irecv`, and a
+    /// per-endpoint pump completes arrivals through a batched
+    /// [`rmpi::CompletionSet`] — 32 outstanding fetches overlap instead of
+    /// queueing the event loop.
+    #[default]
+    Batched,
+}
+
 /// The MPI4Spark-Optimized transport (§VI-E).
 pub struct MpiTransportOptimized {
     ctx: Arc<MpiProcCtx>,
     policy: RoutePolicy,
     body_timeout_ns: u64,
+    completion: BodyCompletion,
+    pump: OnceLock<Arc<BodyPump>>,
 }
 
 impl MpiTransportOptimized {
@@ -77,16 +94,27 @@ impl MpiTransportOptimized {
 
     /// Transport with an explicit body-routing policy (§VI-E ablations).
     pub fn with_policy(ctx: Arc<MpiProcCtx>, policy: RoutePolicy) -> Self {
-        MpiTransportOptimized { ctx, policy, body_timeout_ns: simt::time::secs(120) }
+        MpiTransportOptimized {
+            ctx,
+            policy,
+            body_timeout_ns: simt::time::secs(120),
+            completion: BodyCompletion::default(),
+            pump: OnceLock::new(),
+        }
     }
 
-    /// Cap how long an inbound handler waits for a body whose header
-    /// arrived. A dropped body would otherwise wedge the endpoint's event
-    /// loop in a blocking `MPI_Recv` forever; on timeout the header is
-    /// consumed and the fetch surfaces as a missing chunk to the retry
-    /// layer.
+    /// Cap how long the transport waits for a body whose header arrived. A
+    /// dropped body would otherwise leave its receive posted forever; on
+    /// timeout the posted receive is cancelled (with a drain for the late
+    /// body) and the fetch surfaces as a missing chunk to the retry layer.
     pub fn with_body_timeout(mut self, timeout_ns: u64) -> Self {
         self.body_timeout_ns = timeout_ns;
+        self
+    }
+
+    /// Select the body-completion path (fan-in ablations).
+    pub fn with_body_completion(mut self, completion: BodyCompletion) -> Self {
+        self.completion = completion;
         self
     }
 }
@@ -98,6 +126,12 @@ impl Transport for MpiTransportOptimized {
 
     fn handshake(&self, node: usize) -> Handshake {
         Handshake { node, mpi_rank: Some(self.ctx.rank()), comm: self.ctx.kind }
+    }
+
+    fn start(&self, endpoint: &Endpoint) {
+        if self.completion == BodyCompletion::Batched {
+            let _ = self.pump.set(BodyPump::spawn(endpoint.clone()));
+        }
     }
 
     fn configure(&self, chan: &Arc<ChannelCore>) {
@@ -120,8 +154,116 @@ impl Transport for MpiTransportOptimized {
                 policy: self.policy,
                 received: AtomicU64::new(0),
                 body_timeout_ns: self.body_timeout_ns,
+                pump: self.pump.get().cloned(),
             }),
         );
+    }
+}
+
+/// A body receive in flight: posted when its header was parsed, completed
+/// (or timed out) by the endpoint's pump daemon.
+struct PendingBody {
+    chan: Arc<ChannelCore>,
+    header: bytes::Bytes,
+    deadline: u64,
+}
+
+/// Per-endpoint body-completion pump (Batched mode).
+///
+/// `OptInbound` posts one nonblocking `irecv` per parsed header and files
+/// the pending entry here; the pump daemon completes arrivals through one
+/// [`rmpi::CompletionSet`] in virtual-arrival order, so any number of
+/// concurrent fetches into this endpoint overlap. Entries whose deadline
+/// passes are cancelled with a drain: the posted slot is released and the
+/// late body, if it ever lands, is absorbed instead of leaking into the
+/// message store.
+struct BodyPump {
+    endpoint: Endpoint,
+    set: rmpi::CompletionSet,
+    entries: Mutex<BTreeMap<u64, PendingBody>>,
+    next_user: AtomicU64,
+}
+
+impl BodyPump {
+    fn spawn(endpoint: Endpoint) -> Arc<BodyPump> {
+        let pump = Arc::new(BodyPump {
+            endpoint: endpoint.clone(),
+            set: rmpi::CompletionSet::default(),
+            entries: Mutex::new(BTreeMap::new()),
+            next_user: AtomicU64::new(0),
+        });
+        let runner = pump.clone();
+        simt::spawn_daemon(format!("mpi-opt-body-pump:n{}", endpoint.node()), move || {
+            runner.run();
+        });
+        pump
+    }
+
+    /// File a posted body receive. The entry must be visible before the
+    /// request joins the completion set: attaching can complete instantly
+    /// (body already arrived), and the pump looks the entry up by `user`.
+    fn submit(
+        &self,
+        chan: &Arc<ChannelCore>,
+        header: bytes::Bytes,
+        req: rmpi::Request,
+        deadline: u64,
+    ) {
+        let user = self.next_user.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(user, PendingBody { chan: chan.clone(), header, deadline });
+        req.attach(&self.set, user);
+    }
+
+    fn run(&self) {
+        loop {
+            let next_deadline = self.entries.lock().values().map(|e| e.deadline).min();
+            match self.set.wait_next(next_deadline) {
+                rmpi::Completed::Recv { user, msg } => {
+                    let Some(entry) = self.entries.lock().remove(&user) else {
+                        continue;
+                    };
+                    self.deliver(entry, msg.payload);
+                }
+                rmpi::Completed::TimedOut => self.expire(),
+                rmpi::Completed::Closed => break,
+            }
+        }
+    }
+
+    /// Decode the completed body against its saved header and hand the
+    /// message to the endpoint, with the receive span causally linked to
+    /// the sender (same convention as the Basic router's receiver threads).
+    fn deliver(&self, entry: PendingBody, body: Payload) {
+        let obs = entry.chan.net.obs();
+        let _span = obs.is_traced().then(|| {
+            let link = Message::peek_span_id(&entry.header).unwrap_or(0);
+            obs.tracer().span_linked(
+                "rmpi.body.recv",
+                link,
+                obs::kv! {"src" => entry.chan.remote_node, "dst" => entry.chan.local_node},
+            )
+        });
+        if let Ok(msg) = Message::decode(&entry.header, body) {
+            self.endpoint.dispatch_received(&entry.chan, msg, entry.header.len() as u64);
+        }
+    }
+
+    /// Cancel every entry whose deadline has passed; each cancel installs a
+    /// drain so the late body cannot sit in the message store forever. The
+    /// unanswered fetch then times out at the requester and retries.
+    fn expire(&self) {
+        let now = simt::now();
+        let expired: Vec<u64> = self
+            .entries
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.deadline <= now)
+            .map(|(user, _)| *user)
+            .collect();
+        for user in expired {
+            self.set.cancel_user(user);
+            self.entries.lock().remove(&user);
+        }
     }
 }
 
@@ -170,6 +312,8 @@ struct OptInbound {
     policy: RoutePolicy,
     received: AtomicU64,
     body_timeout_ns: u64,
+    /// Present in Batched mode; `None` selects the legacy blocking path.
+    pump: Option<Arc<BodyPump>>,
 }
 
 impl InboundHandler for OptInbound {
@@ -189,9 +333,23 @@ impl InboundHandler for OptInbound {
             .unwrap_or_else(|| self.received.fetch_add(1, Ordering::Relaxed));
         let tag = opt_tag(chan.id, key);
         let (comm, src) = self.ctx.route(peer_rank, peer.comm);
-        // Bounded wait: if the body was lost in flight, give up and let the
-        // unanswered fetch time out at the requester instead of wedging
-        // this event loop in a blocking recv.
+
+        if let Some(pump) = &self.pump {
+            // Batched: post the receive and return immediately — the event
+            // loop goes back to parsing headers while the pump completes
+            // arrivals, so concurrent fetches into this endpoint overlap.
+            let req = comm.irecv(Some(src), Some(tag));
+            let deadline = simt::now().saturating_add(self.body_timeout_ns);
+            pump.submit(chan, frame.header, req, deadline);
+            return InboundAction::Consume;
+        }
+
+        // Blocking (legacy): park the event loop until this one body lands.
+        // Bounded so a lost body surfaces as a missing chunk to the retry
+        // layer instead of wedging the endpoint forever. Waiting on a
+        // posted receive (rather than the old bare `recv_timeout`) means a
+        // timeout installs a drain: the late body is absorbed on arrival
+        // instead of leaking into the message store.
         let obs = chan.net.obs();
         let recv = {
             let _wait = obs.is_traced().then(|| {
@@ -200,14 +358,14 @@ impl InboundHandler for OptInbound {
                     obs::kv! {"key" => key, "src" => chan.remote_node, "dst" => chan.local_node},
                 )
             });
-            comm.recv_timeout(Some(src), Some(tag), self.body_timeout_ns)
+            comm.irecv(Some(src), Some(tag)).wait_timeout(self.body_timeout_ns)
         };
         match recv {
-            Ok((body, _status)) => match Message::decode(&frame.header, body) {
+            Ok(Some((body, _status))) => match Message::decode(&frame.header, body) {
                 Ok(msg) => InboundAction::Decoded(msg),
                 Err(_) => InboundAction::Consume,
             },
-            Err(_) => InboundAction::Consume,
+            Ok(None) | Err(_) => InboundAction::Consume,
         }
     }
 }

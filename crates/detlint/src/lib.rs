@@ -19,6 +19,10 @@
 //! * **D5** — no lock guard held across `park()` / blocking simt primitives
 //!   (the lost-wakeup & deadlock shape the push-token-then-park pattern
 //!   exists to avoid).
+//! * **D6** — no busy-spin `while` loop polling `Request::test()` without a
+//!   blocking call in the body: every probe charges simulated CPU, so a spin
+//!   loop reproduces the Basic design's polling burn (paper §VI-D) instead
+//!   of blocking on `wait()` / `waitany()` / `CompletionSet::wait_next()`.
 //!
 //! Findings can be waived per line with an explicit, reasoned escape hatch:
 //!
@@ -45,7 +49,7 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id: `D1`..`D5`, or `allow` for a malformed allow directive.
+    /// Rule id: `D1`..`D6`, or `allow` for a malformed allow directive.
     pub rule: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
@@ -483,6 +487,7 @@ pub fn scan_source(display_path: &str, origin: &FileOrigin, src: &str) -> Vec<Di
     rule_d3(&ctx, &m, &text, &mut found);
     rule_d4(&ctx, &m, &text, &mut found);
     rule_d5(&ctx, &m, &text, &mut found);
+    rule_d6(&ctx, &m, &text, &mut found);
 
     // Apply allows and collapse to one finding per (line, rule) — overlapping
     // needles (e.g. `std::thread::spawn` and `thread::spawn`) otherwise
@@ -1047,6 +1052,70 @@ fn parse_guard_binding(text: &str, pos: usize) -> Option<(String, usize)> {
     } else {
         None
     }
+}
+
+// --- D6: busy-spin polling of nonblocking requests --------------------------
+
+/// Calls that yield or block inside a polling loop's body: any of these makes
+/// the loop an event loop rather than a spin.
+const D6_BLOCKING_IN_BODY: &[&str] = &[
+    "sleep",
+    "park",
+    "yield_now",
+    ".wait(",
+    ".wait_timeout(",
+    "wait_next",
+    "waitany",
+    "waitall",
+    ".recv(",
+    ".recv_timeout(",
+    ".recv_deadline(",
+    ".acquire(",
+];
+
+fn rule_d6(ctx: &RuleCtx<'_>, m: &Masked, text: &str, out: &mut BTreeSet<Diagnostic>) {
+    each_match(text, "while ", |pos| {
+        // Header: up to the loop's `{` (bounded, like D4's for-header scan).
+        let Some(brace) = find_from(text, "{", pos) else { return };
+        if brace.saturating_sub(pos) > 300 {
+            return;
+        }
+        let header = &text[pos..brace];
+        if !header.contains(".test()") {
+            return;
+        }
+        // Body: balance braces from the `{`.
+        let b = text.as_bytes();
+        let mut depth = 0i64;
+        let mut k = brace;
+        while k < b.len() {
+            match b[k] as char {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body = &text[brace..k.min(text.len())];
+        if D6_BLOCKING_IN_BODY.iter().any(|tok| body.contains(tok)) {
+            return;
+        }
+        push_diag(
+            out,
+            ctx,
+            m.line_of(pos),
+            "D6",
+            "busy-spin `while` loop polling `.test()` with no blocking call in the body: \
+             every probe charges simulated CPU, reproducing the Basic design's polling burn; \
+             block on `wait()` / `waitany()` / `CompletionSet::wait_next()` instead"
+                .to_string(),
+        );
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -14,7 +14,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: detlint [--json] [ROOT]\n\n\
-                     Scans every workspace crate for determinism violations (rules D1-D5).\n\
+                     Scans every workspace crate for determinism violations (rules D1-D6).\n\
                      ROOT defaults to the enclosing cargo workspace.\n\n\
                      exit codes: 0 clean, 1 findings, 2 error"
                 );

@@ -118,6 +118,29 @@ fn d5_flags_blocking_with_guard_held() {
 }
 
 #[test]
+fn d6_flags_busy_spin_on_request_test() {
+    let src = include_str!("fixtures/d6_busy_spin.rs");
+    assert_eq!(
+        scan("core", src),
+        vec![(
+            4,
+            "D6".to_string(),
+            "busy-spin `while` loop polling `.test()` with no blocking call in the body: \
+             every probe charges simulated CPU, reproducing the Basic design's polling burn; \
+             block on `wait()` / `waitany()` / `CompletionSet::wait_next()` instead"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn d6_accepts_polling_loops_that_block() {
+    let src = "pub fn poll(req: &rmpi::Request) {\n    while !req.test() {\n        \
+               simt::sleep(1_000);\n    }\n}\n";
+    assert_eq!(scan("core", src), vec![], "a sleep in the body makes it an event loop");
+}
+
+#[test]
 fn allow_directives_with_reason_silence_findings() {
     let src = include_str!("fixtures/allowed.rs");
     assert_eq!(scan("netz", src), vec![]);

@@ -1,0 +1,7 @@
+//! Fixture: rule D6 — busy-spin polling a nonblocking request.
+
+pub fn spin_until_done(req: &rmpi::Request) {
+    while !req.test() {
+        std::hint::spin_loop();
+    }
+}

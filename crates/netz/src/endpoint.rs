@@ -351,6 +351,15 @@ impl Endpoint {
         self.dispatch(chan, msg);
     }
 
+    /// Account a message received outside the socket frame path (its body
+    /// arrived over a side transport after the header was parsed), then
+    /// dispatch it. Used by the Optimized design's body-completion pump,
+    /// which finishes decode asynchronously once the MPI body lands.
+    pub fn dispatch_received(&self, chan: &Arc<ChannelCore>, msg: Message, header_len: u64) {
+        chan.note_received(header_len + msg.body_virtual_len());
+        self.dispatch(chan, msg);
+    }
+
     /// Dispatch a fully decoded message: requests to the handler / stream
     /// manager, responses to their registered callbacks. Public so that
     /// MPI-side receiver threads (which bypass the socket path entirely,

@@ -2,13 +2,23 @@
 //!
 //! Implemented over point-to-point sends with reserved tags; each collective
 //! round consumes one per-communicator sequence number, so collectives and
-//! user p2p traffic never cross-match. Linear algorithms — the universes
-//! simulated here have at most a few dozen ranks per communicator, where
-//! linear and tree algorithms are within a small constant of each other.
+//! user p2p traffic never cross-match. The data-movement collectives run
+//! binomial-tree exchanges built on nonblocking requests ([`Comm::irecv`] +
+//! [`crate::waitall`]): a rank posts one receive per tree child up front and
+//! completes them as a batch, so an N-rank round costs O(log N) latency
+//! steps instead of the old flat O(N) loop at the root.
+//!
+//! Tree addressing works in *virtual ranks* (`vrank = (rank + size - root) %
+//! size`), which places the root at virtual rank 0 for any actual root. A
+//! virtual rank `v`'s parent clears its lowest set bit (`v & (v - 1)`); its
+//! children are `v + 1, v + 2, v + 4, …` below the next power of two. All
+//! loops iterate in deterministic child order, and completion order inside a
+//! batch is fixed by virtual arrival time, so collective timings stay
+//! byte-reproducible across runs.
 
 use std::any::Any;
 
-use crate::comm::Comm;
+use crate::comm::{waitall, Comm, Request};
 use crate::types::MpiError;
 
 /// Reserved tag space for collective rounds.
@@ -26,6 +36,34 @@ const OP_GATHER: u64 = 4;
 /// Wire size charged for zero-data control hops within collectives.
 const TOKEN_BYTES: u64 = 16;
 
+/// Lowest set bit of `v` (undefined for 0; callers special-case the root).
+fn lowbit(v: u32) -> u32 {
+    v & v.wrapping_neg()
+}
+
+/// Parent of virtual rank `v` in the binomial tree (clear the lowest set
+/// bit). The root (virtual rank 0) has no parent.
+fn tree_parent(v: u32) -> u32 {
+    v & (v - 1)
+}
+
+/// Children of virtual rank `v` in a `size`-member binomial tree, in
+/// deterministic increasing order.
+fn tree_children(v: u32, size: u32) -> Vec<u32> {
+    let limit = if v == 0 { size } else { lowbit(v) };
+    let mut out = Vec::new();
+    let mut m = 1u32;
+    while m < limit {
+        let child = v + m;
+        if child >= size {
+            break;
+        }
+        out.push(child);
+        m <<= 1;
+    }
+    out
+}
+
 impl Comm {
     /// Span covering one collective phase on this rank (when tracing is on).
     fn coll_span(&self, name: &'static str, root: Option<u32>) -> Option<obs::Span> {
@@ -39,39 +77,57 @@ impl Comm {
         })
     }
 
-    /// `MPI_Barrier`: returns once every member has entered.
+    /// Virtual rank of this process in a tree rooted at `root`.
+    fn vrank(&self, root: u32) -> u32 {
+        (self.rank() + self.size() - root) % self.size()
+    }
+
+    /// Actual rank addressed by virtual rank `v` in a tree rooted at `root`.
+    fn actual(&self, v: u32, root: u32) -> u32 {
+        (v + root) % self.size()
+    }
+
+    /// `MPI_Barrier`: returns once every member has entered. Binomial-tree
+    /// fan-in to rank 0 followed by a tree fan-out.
     pub fn barrier(&self) -> Result<(), MpiError> {
         let _span = self.coll_span("rmpi.coll.barrier", None);
         let seq = self.next_coll_seq();
         let size = self.size();
-        let rank = self.rank();
         if size == 1 {
             return Ok(());
         }
-        if rank == 0 {
-            for src in 1..size {
-                let _ = self.recv(Some(src), Some(coll_tag(OP_BARRIER_IN, seq)))?;
-            }
-            for dst in 1..size {
-                self.send(
-                    dst,
-                    coll_tag(OP_BARRIER_OUT, seq),
-                    fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES),
-                )?;
-            }
-        } else {
+        let v = self.rank(); // root 0 ⇒ vrank == rank
+        let children = tree_children(v, size);
+
+        // Fan-in: wait for every child subtree, then report to the parent.
+        let reqs: Vec<Request> = children
+            .iter()
+            .map(|&c| self.irecv(Some(c), Some(coll_tag(OP_BARRIER_IN, seq))))
+            .collect();
+        waitall(reqs)?;
+        if v != 0 {
             self.send(
-                0,
+                tree_parent(v),
                 coll_tag(OP_BARRIER_IN, seq),
                 fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES),
             )?;
-            let _ = self.recv(Some(0), Some(coll_tag(OP_BARRIER_OUT, seq)))?;
+            // Fan-out: the release token retraces the tree edges downward.
+            let _ = self.recv(Some(tree_parent(v)), Some(coll_tag(OP_BARRIER_OUT, seq)))?;
+        }
+        for &c in &children {
+            self.send(
+                c,
+                coll_tag(OP_BARRIER_OUT, seq),
+                fabric::Payload::bytes_scaled(bytes::Bytes::new(), TOKEN_BYTES),
+            )?;
         }
         Ok(())
     }
 
     /// `MPI_Bcast`: `root` supplies `Some(value)`; everyone returns the
-    /// value. `virtual_len` is the charged wire size per hop.
+    /// value. `virtual_len` is the charged wire size per hop. Tree descent:
+    /// each rank receives from its tree parent and forwards to its children
+    /// with nonblocking sends completed as a batch.
     pub fn bcast<T: Any + Send + Sync + Clone>(
         &self,
         root: u32,
@@ -80,23 +136,33 @@ impl Comm {
     ) -> Result<T, MpiError> {
         let _span = self.coll_span("rmpi.coll.bcast", Some(root));
         let seq = self.next_coll_seq();
-        let rank = self.rank();
         let size = self.size();
-        if rank == root {
-            let v = value.expect("bcast root must supply a value");
-            for dst in 0..size {
-                if dst != root {
-                    self.send_value(dst, coll_tag(OP_BCAST, seq), v.clone(), virtual_len)?;
-                }
-            }
-            Ok(v)
+        let v = self.vrank(root);
+        let value = if v == 0 {
+            value.expect("bcast root must supply a value")
         } else {
-            let (v, _st) = self.recv_value::<T>(Some(root), Some(coll_tag(OP_BCAST, seq)))?;
-            Ok((*v).clone())
-        }
+            let src = self.actual(tree_parent(v), root);
+            let (got, _st) = self.recv_value::<T>(Some(src), Some(coll_tag(OP_BCAST, seq)))?;
+            (*got).clone()
+        };
+        let sends: Vec<Request> = tree_children(v, size)
+            .into_iter()
+            .map(|c| {
+                self.isend(
+                    self.actual(c, root),
+                    coll_tag(OP_BCAST, seq),
+                    fabric::Payload::control(value.clone(), virtual_len),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        waitall(sends)?;
+        Ok(value)
     }
 
     /// `MPI_Gather`: root returns `Some(vec)` in rank order; others `None`.
+    /// Tree ascent: each rank batches the receives from all its children
+    /// with `waitall`, merges the subtree contributions, and forwards one
+    /// message (charged by subtree size) to its parent.
     pub fn gather<T: Any + Send + Sync + Clone>(
         &self,
         root: u32,
@@ -105,21 +171,32 @@ impl Comm {
     ) -> Result<Option<Vec<T>>, MpiError> {
         let _span = self.coll_span("rmpi.coll.gather", Some(root));
         let seq = self.next_coll_seq();
-        let rank = self.rank();
         let size = self.size();
-        if rank == root {
-            let mut out: Vec<Option<T>> = vec![None; size as usize];
-            out[root as usize] = Some(value);
-            for src in 0..size {
-                if src != root {
-                    let (v, _st) =
-                        self.recv_value::<T>(Some(src), Some(coll_tag(OP_GATHER, seq)))?;
-                    out[src as usize] = Some((*v).clone());
-                }
-            }
-            Ok(Some(out.into_iter().map(|v| v.expect("all ranks gathered")).collect()))
+        let v = self.vrank(root);
+
+        // Post one receive per child subtree, then complete them together.
+        let children = tree_children(v, size);
+        let reqs: Vec<Request> = children
+            .iter()
+            .map(|&c| self.irecv(Some(self.actual(c, root)), Some(coll_tag(OP_GATHER, seq))))
+            .collect();
+        let mut subtree: Vec<(u32, T)> = vec![(self.rank(), value)];
+        for done in waitall(reqs)? {
+            let (payload, _st) = done.expect("gather receive completes with a message");
+            let part = payload
+                .value_as::<Vec<(u32, T)>>()
+                .expect("gather subtree carries rank-tagged values");
+            subtree.extend(part.iter().cloned());
+        }
+
+        if v == 0 {
+            debug_assert_eq!(subtree.len(), size as usize, "gather root saw every rank");
+            subtree.sort_by_key(|(rank, _)| *rank);
+            Ok(Some(subtree.into_iter().map(|(_, value)| value).collect()))
         } else {
-            self.send_value(root, coll_tag(OP_GATHER, seq), value, virtual_len)?;
+            let parent = self.actual(tree_parent(v), root);
+            let charged = virtual_len * subtree.len() as u64;
+            self.send_value(parent, coll_tag(OP_GATHER, seq), subtree, charged)?;
             Ok(None)
         }
     }
@@ -158,6 +235,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
+    use super::{tree_children, tree_parent};
     use crate::launch::mpiexec;
     use fabric::{ClusterSpec, Net};
     use parking_lot::Mutex;
@@ -172,6 +250,22 @@ mod tests {
         });
         let r = sim.run().unwrap();
         r.assert_clean();
+    }
+
+    #[test]
+    fn binomial_tree_shape_is_consistent() {
+        // Every non-root's parent lists it as a child; the tree spans 1..n.
+        for size in 1u32..=33 {
+            let mut seen = vec![false; size as usize];
+            seen[0] = true;
+            for v in 1..size {
+                let p = tree_parent(v);
+                assert!(tree_children(p, size).contains(&v), "size {size}: {p} !-> {v}");
+                assert!(!seen[v as usize], "size {size}: {v} reached twice");
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|s| *s), "size {size}: tree does not span");
+        }
     }
 
     #[test]
@@ -226,6 +320,23 @@ mod tests {
             }
         });
         assert_eq!(got.lock().clone(), Some(vec![0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn gather_from_nonzero_root_over_a_deep_tree() {
+        // 9 ranks forces a 3-level tree plus a vrank rotation: actual rank 5
+        // is the root, so virtual rank v maps to actual (v + 5) % 9.
+        let got = Arc::new(Mutex::new(None));
+        let got2 = got.clone();
+        run_ranks(3, 9, move |comm| {
+            let r = comm.gather(5, u64::from(comm.rank()) * 10, 8).unwrap();
+            if comm.rank() == 5 {
+                *got2.lock() = r;
+            } else {
+                assert!(r.is_none());
+            }
+        });
+        assert_eq!(got.lock().clone(), Some((0..9).map(|i| i * 10).collect::<Vec<u64>>()));
     }
 
     #[test]

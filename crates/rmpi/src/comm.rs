@@ -5,7 +5,7 @@ use std::sync::Arc;
 use fabric::Payload;
 
 use crate::launch::Universe;
-use crate::proc::{CommInfo, Matcher, MpiMsg, ProcState, IPROBE_CPU_NS};
+use crate::proc::{CommInfo, CompletionSet, Matcher, MpiMsg, ProcState, ReqId, IPROBE_CPU_NS};
 use crate::types::{CommId, MpiError, ProcId, Status};
 
 /// A communicator handle bound to one calling process. Cheap to clone;
@@ -127,11 +127,14 @@ impl Comm {
         ))
     }
 
-    /// Nonblocking receive: a [`Request`] that resolves on `wait`.
-    /// (Progress happens in the pump regardless, so deferring the match to
-    /// `wait` is observationally equivalent — documented deviation.)
+    /// Nonblocking receive: posts a slot in the process's message store and
+    /// returns a [`Request`]. Posting *reserves* the match — once a message
+    /// matches (at post time or on arrival), it is pinned to this request:
+    /// invisible to other receives, guaranteed to be what `wait` returns.
     pub fn irecv(&self, src: Option<u32>, tag: Option<u64>) -> Request {
-        Request::pending(self.clone(), src, tag)
+        let me = self.me();
+        let id = me.store.post_recv(Matcher { comm: self.comm, src, tag });
+        Request::recv(self.clone(), id)
     }
 
     /// Nonblocking probe (`MPI_Iprobe`). Charges the caller the polling CPU
@@ -190,13 +193,24 @@ impl std::fmt::Debug for Comm {
 }
 
 /// A nonblocking-operation handle.
+///
+/// Receive requests own a posted slot in the process's message store: the
+/// match is *reserved* at post/arrival time, so an observation by [`test`]
+/// (or a batched sweep) can never be re-matched away before [`wait`]. A
+/// request dropped without `wait`/`cancel` releases its slot (without a
+/// drain); any pinned message is discarded.
 pub struct Request {
     kind: RequestKind,
 }
 
 enum RequestKind {
     Complete,
-    PendingRecv { comm: Comm, src: Option<u32>, tag: Option<u64> },
+    Recv {
+        comm: Comm,
+        id: ReqId,
+        /// Slot already consumed (waited, cancelled, or attached)?
+        done: bool,
+    },
 }
 
 impl Request {
@@ -204,23 +218,337 @@ impl Request {
         Request { kind: RequestKind::Complete }
     }
 
-    fn pending(comm: Comm, src: Option<u32>, tag: Option<u64>) -> Request {
-        Request { kind: RequestKind::PendingRecv { comm, src, tag } }
+    fn recv(comm: Comm, id: ReqId) -> Request {
+        Request { kind: RequestKind::Recv { comm, id, done: false } }
+    }
+
+    fn msg_result(msg: MpiMsg) -> Option<(Payload, Status)> {
+        let status = Status { source: msg.src_rank, tag: msg.tag, len: msg.payload.virtual_len };
+        Some((msg.payload, status))
     }
 
     /// Block until the operation completes; receives return their payload.
-    pub fn wait(self) -> Result<Option<(Payload, Status)>, MpiError> {
-        match self.kind {
+    /// Event-driven (woken by arrival): blocking here charges no polling
+    /// CPU, unlike `test`/[`testsome`] sweeps.
+    pub fn wait(mut self) -> Result<Option<(Payload, Status)>, MpiError> {
+        match &mut self.kind {
             RequestKind::Complete => Ok(None),
-            RequestKind::PendingRecv { comm, src, tag } => comm.recv(src, tag).map(Some),
+            RequestKind::Recv { comm, id, done } => {
+                let store = comm.me().store.clone();
+                let r = store.req_wait(*id);
+                *done = true; // slot is consumed on Ok and on Finalized alike
+                r.map(Self::msg_result)
+            }
         }
     }
 
-    /// Nonblocking completion test.
+    /// [`wait`](Request::wait) bounded by a relative timeout. On timeout the
+    /// receive is cancelled *with a drain*: if the message later arrives it
+    /// is absorbed instead of leaking into the unexpected-message queue.
+    pub fn wait_timeout(mut self, timeout: u64) -> Result<Option<(Payload, Status)>, MpiError> {
+        match &mut self.kind {
+            RequestKind::Complete => Ok(None),
+            RequestKind::Recv { comm, id, done } => {
+                let store = comm.me().store.clone();
+                let deadline = simt::now().saturating_add(timeout);
+                let r = store.req_wait_deadline(*id, deadline);
+                if matches!(r, Err(MpiError::Timeout)) {
+                    store.cancel_recv(*id, true);
+                }
+                *done = true;
+                r.map(Self::msg_result)
+            }
+        }
+    }
+
+    /// Nonblocking completion test: one sweep, one `iprobe`-equivalent CPU
+    /// charge. A `true` result is stable — the matched message is pinned to
+    /// this request and `wait` will return exactly it.
     pub fn test(&self) -> bool {
         match &self.kind {
             RequestKind::Complete => true,
-            RequestKind::PendingRecv { comm, src, tag } => comm.iprobe(*src, *tag).is_some(),
+            RequestKind::Recv { comm, id, .. } => {
+                let me = comm.me();
+                comm.uni.state.net.cpu(me.node).execute(IPROBE_CPU_NS);
+                me.store.req_test(*id)
+            }
         }
+    }
+
+    /// Abandon the operation. For a still-pending receive, `drain` installs
+    /// a one-shot absorber so the in-flight message is dropped on arrival
+    /// rather than stored forever.
+    pub fn cancel(mut self, drain: bool) {
+        if let RequestKind::Recv { comm, id, done } = &mut self.kind {
+            comm.me().store.cancel_recv(*id, drain);
+            *done = true;
+        }
+    }
+
+    /// Hand this receive to a [`CompletionSet`] under caller token `user`;
+    /// completion is then observed via [`CompletionSet::wait_next`].
+    /// Panics for send requests (they complete at post time).
+    pub fn attach(mut self, set: &CompletionSet, user: u64) {
+        match &mut self.kind {
+            RequestKind::Complete => panic!("only receive requests can join a CompletionSet"),
+            RequestKind::Recv { comm, id, done } => {
+                set.add(&comm.me().store, *id, user);
+                *done = true;
+            }
+        }
+    }
+
+    /// Completion status without the CPU charge (internal batch sweeps pay
+    /// one charge for the whole batch instead).
+    fn is_done_unbilled(&self) -> bool {
+        match &self.kind {
+            RequestKind::Complete => true,
+            RequestKind::Recv { comm, id, .. } => comm.me().store.req_test(*id),
+        }
+    }
+
+    /// Arrival-order sequence of a completed receive (`None` while pending;
+    /// sends have no arrival and return `None`).
+    fn completion_seq(&self) -> Option<u64> {
+        match &self.kind {
+            RequestKind::Complete => None,
+            RequestKind::Recv { comm, id, .. } => comm.me().store.req_completion_seq(*id),
+        }
+    }
+
+    fn is_complete_send(&self) -> bool {
+        matches!(self.kind, RequestKind::Complete)
+    }
+
+    fn store(&self) -> Option<crate::proc::MsgStore> {
+        match &self.kind {
+            RequestKind::Complete => None,
+            RequestKind::Recv { comm, .. } => Some(comm.me().store.clone()),
+        }
+    }
+
+    fn charge_sweep(&self) {
+        if let RequestKind::Recv { comm, .. } = &self.kind {
+            let me = comm.me();
+            comm.uni.state.net.cpu(me.node).execute(IPROBE_CPU_NS);
+        }
+    }
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        if let RequestKind::Recv { comm, id, done: false } = &self.kind {
+            comm.me().store.cancel_recv(*id, false);
+        }
+    }
+}
+
+/// `MPI_Waitall`: complete every request, returning results in request
+/// order. Because matching is reserved at post/arrival time, completing the
+/// batch sequentially is *exactly* equivalent (payloads and virtual
+/// timestamps) to any batched completion order — blocking waits are
+/// event-driven and charge no CPU, and each request's message is already
+/// pinned to it. (Pinned by a property test in `tests/request_props.rs`.)
+pub fn waitall(reqs: Vec<Request>) -> Result<Vec<Option<(Payload, Status)>>, MpiError> {
+    reqs.into_iter().map(Request::wait).collect()
+}
+
+/// `MPI_Waitany`: block until some request in `reqs` completes, remove it,
+/// and return `(original_index, result)`. Completed sends win first (lowest
+/// index); among ready receives the one whose message *arrived earliest*
+/// wins — a pure function of virtual time + post order, replay-stable.
+/// Panics on an empty vector.
+pub fn waitany(reqs: &mut Vec<Request>) -> Result<(usize, Option<(Payload, Status)>), MpiError> {
+    assert!(!reqs.is_empty(), "waitany on an empty request set");
+    loop {
+        let tok = simt::engine::wait_token();
+        // Register before sweeping: an arrival between sweep and park still
+        // wakes us; stale tokens are rejected by epoch.
+        let mut any_open = false;
+        for st in reqs.iter().filter_map(Request::store) {
+            st.add_waiter(tok.clone());
+            any_open |= !st.is_closed();
+        }
+        if let Some(i) = reqs.iter().position(Request::is_complete_send) {
+            return reqs.remove(i).wait().map(|r| (i, r));
+        }
+        let ready = reqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.completion_seq().map(|seq| (seq, i)))
+            .min();
+        if let Some((_, i)) = ready {
+            return reqs.remove(i).wait().map(|r| (i, r));
+        }
+        if !any_open {
+            return Err(MpiError::Finalized);
+        }
+        simt::engine::park();
+    }
+}
+
+/// `MPI_Testsome`: one completion sweep over the batch — a single
+/// `iprobe`-equivalent CPU charge regardless of batch size. Every
+/// currently-complete request is removed and returned as
+/// `(original_index, result)`, in index order; pending ones stay put.
+pub fn testsome(
+    reqs: &mut Vec<Request>,
+) -> Result<Vec<(usize, Option<(Payload, Status)>)>, MpiError> {
+    if let Some(r) = reqs.iter().find(|r| !r.is_complete_send()) {
+        r.charge_sweep();
+    }
+    let ready: Vec<usize> =
+        reqs.iter().enumerate().filter(|(_, r)| r.is_done_unbilled()).map(|(i, _)| i).collect();
+    let mut out = Vec::with_capacity(ready.len());
+    for (removed, i) in ready.into_iter().enumerate() {
+        out.push((i, reqs.remove(i - removed).wait()?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::mpiexec;
+    use fabric::{ClusterSpec, Net};
+
+    fn run_ranks(nodes: usize, ranks: usize, f: impl Fn(Comm) + Send + Sync + 'static) {
+        let sim = simt::Sim::new();
+        let placements: Vec<usize> = (0..ranks).map(|i| i % nodes).collect();
+        sim.spawn("launcher", move || {
+            let net = Net::new(&ClusterSpec::test(nodes));
+            mpiexec(&net, &placements, f);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    fn store_of(comm: &Comm) -> crate::proc::MsgStore {
+        comm.me().store.clone()
+    }
+
+    /// The old `Request::test` was a bare iprobe and `wait` re-ran matching:
+    /// with a `src: None` wildcard, `test` could observe one message while a
+    /// competing receive consumed it, leaving `wait` to return a *different*
+    /// message. Reservation closes this: the match `test` observes is pinned.
+    #[test]
+    fn test_pins_wildcard_match_for_wait() {
+        const TAG: u64 = 77;
+        run_ranks(2, 3, |comm| match comm.rank() {
+            0 => comm.send_value(2, TAG, 0u32, 8).unwrap(),
+            1 => {
+                simt::sleep(50_000);
+                comm.send_value(2, TAG, 1u32, 8).unwrap();
+            }
+            _ => {
+                simt::sleep(200_000); // both messages have arrived
+                let req = comm.irecv(None, Some(TAG));
+                assert!(req.test(), "first arrival is pinned at post time");
+                // A competing exact receive for the pinned sender must NOT
+                // steal the reserved message.
+                let r = comm.recv_timeout(Some(0), Some(TAG), 10_000);
+                assert_eq!(r.err(), Some(MpiError::Timeout));
+                // And wait() returns exactly what test() observed.
+                let (payload, st) = req.wait().unwrap().unwrap();
+                assert_eq!(st.source, 0);
+                assert_eq!(*payload.value_as::<u32>().unwrap(), 0);
+                // The other sender's message is still receivable.
+                let (v, st) = comm.recv_value::<u32>(Some(1), Some(TAG)).unwrap();
+                assert_eq!((st.source, *v), (1, 1));
+            }
+        });
+    }
+
+    /// Regression for the stale-body leak: flood timeouts, then let every
+    /// "late body" arrive — the drains must absorb all of them so the
+    /// unexpected-message queue stays empty.
+    #[test]
+    fn timed_out_receives_drain_late_arrivals() {
+        const N: u64 = 48;
+        run_ranks(2, 2, |comm| {
+            if comm.rank() == 0 {
+                // All bodies are late: sent long after the receiver timed out.
+                simt::sleep(1_000_000);
+                for i in 0..N {
+                    comm.send_value(1, 1000 + i, i, 64).unwrap();
+                }
+            } else {
+                let store = store_of(&comm);
+                for i in 0..N {
+                    let req = comm.irecv(Some(0), Some(1000 + i));
+                    assert_eq!(req.wait_timeout(2_000).err(), Some(MpiError::Timeout));
+                }
+                assert_eq!(store.posted_len(), 0, "timeouts released their slots");
+                assert_eq!(store.drain_len(), N as usize, "one drain per timed-out receive");
+                simt::sleep(5_000_000); // all late bodies have landed
+                assert_eq!(store.len(), 0, "late bodies were absorbed, not stored");
+                assert_eq!(store.drain_len(), 0, "each drain consumed exactly once");
+            }
+        });
+    }
+
+    #[test]
+    fn waitany_returns_earliest_arrival() {
+        run_ranks(2, 3, |comm| match comm.rank() {
+            0 => {
+                simt::sleep(30_000);
+                comm.send_value(2, 1, 10u32, 8).unwrap();
+            }
+            1 => {
+                simt::sleep(10_000);
+                comm.send_value(2, 2, 20u32, 8).unwrap();
+            }
+            _ => {
+                let mut reqs = vec![comm.irecv(Some(0), Some(1)), comm.irecv(Some(1), Some(2))];
+                let (i, r) = waitany(&mut reqs).unwrap();
+                // Rank 1's message arrives first even though its request was
+                // posted second.
+                assert_eq!(i, 1);
+                assert_eq!(*r.unwrap().0.value_as::<u32>().unwrap(), 20);
+                let (i, r) = waitany(&mut reqs).unwrap();
+                assert_eq!(i, 0);
+                assert_eq!(*r.unwrap().0.value_as::<u32>().unwrap(), 10);
+                assert!(reqs.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn testsome_removes_ready_and_charges_once() {
+        run_ranks(2, 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_value(1, 5, 1u32, 8).unwrap();
+                simt::sleep(100_000);
+                comm.send_value(1, 6, 2u32, 8).unwrap();
+            } else {
+                simt::sleep(50_000); // tag 5 arrived, tag 6 not yet
+                let mut reqs = vec![comm.irecv(Some(0), Some(5)), comm.irecv(Some(0), Some(6))];
+                let done = testsome(&mut reqs).unwrap();
+                assert_eq!(done.len(), 1);
+                assert_eq!(done[0].0, 0);
+                assert_eq!(reqs.len(), 1);
+                // The remaining request completes on arrival.
+                let (i, r) = waitany(&mut reqs).unwrap();
+                assert_eq!(i, 0);
+                assert_eq!(*r.unwrap().0.value_as::<u32>().unwrap(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn waitall_returns_results_in_request_order() {
+        run_ranks(2, 2, |comm| {
+            if comm.rank() == 0 {
+                // Send in reverse tag order with staggered delays.
+                for tag in [3u64, 2, 1] {
+                    simt::sleep(10_000);
+                    comm.send_value(1, tag, tag, 8).unwrap();
+                }
+            } else {
+                let reqs: Vec<Request> = (1..=3).map(|t| comm.irecv(Some(0), Some(t))).collect();
+                let out = waitall(reqs).unwrap();
+                let tags: Vec<u64> = out.iter().map(|r| r.as_ref().unwrap().1.tag).collect();
+                assert_eq!(tags, vec![1, 2, 3], "request order, not arrival order");
+            }
+        });
     }
 }

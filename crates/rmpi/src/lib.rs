@@ -30,7 +30,8 @@ pub mod launch;
 pub mod proc;
 pub mod types;
 
-pub use comm::Comm;
+pub use comm::{testsome, waitall, waitany, Comm, Request};
 pub use dpm::SpawnSpec;
 pub use launch::{mpiexec, mpiexec_with, Universe};
+pub use proc::{Completed, CompletionSet};
 pub use types::{CommId, MpiError, ProcId, Status, ANY_SOURCE, ANY_TAG};

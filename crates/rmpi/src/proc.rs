@@ -34,21 +34,54 @@ pub struct MpiMsg {
     pub payload: Payload,
 }
 
+/// Handle to a posted (nonblocking) receive slot in a [`MsgStore`].
+///
+/// Ids are allocated in post order; matching among simultaneously-eligible
+/// posted receives always prefers the lowest id, so completion is a pure
+/// function of arrival order + post order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReqId(u64);
+
+/// State of one posted receive.
+enum PostState {
+    /// Waiting for a matching message.
+    Pending,
+    /// Matched: the message is *pinned* here — invisible to `recv`/`probe`
+    /// and to every other posted receive. `seq` is the store-wide completion
+    /// sequence number (arrival order), used by batched waits to pick the
+    /// earliest completion deterministically.
+    Ready { msg: MpiMsg, seq: u64 },
+}
+
+struct PostedRecv {
+    matcher: Matcher,
+    state: PostState,
+}
+
 #[derive(Default)]
 struct StoreState {
     msgs: Vec<MpiMsg>,
     waiters: Vec<WaitToken>,
     closed: bool,
+    /// Posted receives, keyed by id (== post order).
+    posted: BTreeMap<u64, PostedRecv>,
+    /// One-shot absorbers installed by cancelled receives: the next `count`
+    /// messages a cancelled matcher would have consumed are dropped on
+    /// arrival instead of accumulating as unexpected messages.
+    drains: BTreeMap<Matcher, u64>,
+    next_req: u64,
+    next_completion: u64,
 }
 
-/// The unexpected-message queue plus waiter bookkeeping.
+/// The unexpected-message queue plus posted-receive slots and waiter
+/// bookkeeping.
 #[derive(Clone, Default)]
 pub struct MsgStore {
     state: Arc<Mutex<StoreState>>,
 }
 
 /// A match predicate: communicator, optional source rank, optional tag.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Matcher {
     /// Communicator to match.
     pub comm: CommId,
@@ -68,17 +101,208 @@ impl Matcher {
 
 impl MsgStore {
     /// Push a delivered message and wake blocked receivers.
+    ///
+    /// Matching priority: posted receives (lowest [`ReqId`] first), then
+    /// cancel drains, then the unexpected-message queue. Posted-before-drain
+    /// matters under retries: the Optimized transport's tags are
+    /// content-addressed, so an original body and its resend are
+    /// interchangeable — whichever arrives first completes the live posted
+    /// receive, and the drain left by the timed-out attempt absorbs the
+    /// duplicate.
     pub fn push(&self, msg: MpiMsg) {
         let waiters = {
             let mut s = self.state.lock();
             if s.closed {
                 return;
             }
-            s.msgs.push(msg);
-            std::mem::take(&mut s.waiters)
+            let posted_hit = s
+                .posted
+                .iter()
+                .find(|(_, p)| matches!(p.state, PostState::Pending) && p.matcher.matches(&msg))
+                .map(|(id, _)| *id);
+            if let Some(id) = posted_hit {
+                let seq = s.next_completion;
+                s.next_completion += 1;
+                s.posted.get_mut(&id).expect("slot exists").state = PostState::Ready { msg, seq };
+                std::mem::take(&mut s.waiters)
+            } else if let Some(dm) = s.drains.keys().find(|matcher| matcher.matches(&msg)).copied()
+            {
+                let count = s.drains.get_mut(&dm).expect("drain exists");
+                *count -= 1;
+                if *count == 0 {
+                    s.drains.remove(&dm);
+                }
+                return; // absorbed: a cancelled receive already paid for it
+            } else {
+                s.msgs.push(msg);
+                std::mem::take(&mut s.waiters)
+            }
         };
         for w in waiters {
             w.wake();
+        }
+    }
+
+    /// Post a nonblocking receive. If a stored message already matches, it
+    /// is pinned to the slot immediately (FIFO among matching messages, the
+    /// same order `recv` would use).
+    pub fn post_recv(&self, m: Matcher) -> ReqId {
+        let mut s = self.state.lock();
+        let id = s.next_req;
+        s.next_req += 1;
+        let state = if let Some(pos) = s.msgs.iter().position(|x| m.matches(x)) {
+            let msg = s.msgs.remove(pos);
+            let seq = s.next_completion;
+            s.next_completion += 1;
+            PostState::Ready { msg, seq }
+        } else {
+            PostState::Pending
+        };
+        s.posted.insert(id, PostedRecv { matcher: m, state });
+        ReqId(id)
+    }
+
+    /// True when the posted receive has matched (without consuming it).
+    pub fn req_test(&self, id: ReqId) -> bool {
+        let s = self.state.lock();
+        s.posted.get(&id.0).is_none_or(|p| matches!(p.state, PostState::Ready { .. }))
+    }
+
+    /// Completion sequence number of a matched posted receive (arrival
+    /// order), `None` while pending.
+    pub fn req_completion_seq(&self, id: ReqId) -> Option<u64> {
+        let s = self.state.lock();
+        match s.posted.get(&id.0)?.state {
+            PostState::Ready { seq, .. } => Some(seq),
+            PostState::Pending => None,
+        }
+    }
+
+    /// Take the message of a matched posted receive, if ready.
+    pub fn req_try_take(&self, id: ReqId) -> Option<MpiMsg> {
+        let mut s = self.state.lock();
+        if !matches!(s.posted.get(&id.0)?.state, PostState::Ready { .. }) {
+            return None;
+        }
+        match s.posted.remove(&id.0).expect("slot exists").state {
+            PostState::Ready { msg, .. } => Some(msg),
+            PostState::Pending => unreachable!("checked ready above"),
+        }
+    }
+
+    /// Block until the posted receive completes; consumes the slot.
+    pub fn req_wait(&self, id: ReqId) -> Result<MpiMsg, MpiError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                match s.posted.get(&id.0) {
+                    None => panic!("request {id:?} waited twice"),
+                    Some(p) if matches!(p.state, PostState::Ready { .. }) => {
+                        match s.posted.remove(&id.0).expect("slot exists").state {
+                            PostState::Ready { msg, .. } => return Ok(msg),
+                            PostState::Pending => unreachable!("checked ready above"),
+                        }
+                    }
+                    Some(_) if s.closed => {
+                        s.posted.remove(&id.0);
+                        return Err(MpiError::Finalized);
+                    }
+                    Some(_) => {}
+                }
+                s.waiters.push(wait_token());
+            }
+            park();
+        }
+    }
+
+    /// [`req_wait`](MsgStore::req_wait) with an absolute deadline. On
+    /// timeout the slot is left posted — the caller decides whether to
+    /// cancel (and drain) or keep waiting.
+    pub fn req_wait_deadline(&self, id: ReqId, deadline: u64) -> Result<MpiMsg, MpiError> {
+        loop {
+            let tok = {
+                let mut s = self.state.lock();
+                match s.posted.get(&id.0) {
+                    None => panic!("request {id:?} waited twice"),
+                    Some(p) if matches!(p.state, PostState::Ready { .. }) => {
+                        match s.posted.remove(&id.0).expect("slot exists").state {
+                            PostState::Ready { msg, .. } => return Ok(msg),
+                            PostState::Pending => unreachable!("checked ready above"),
+                        }
+                    }
+                    Some(_) if s.closed => {
+                        s.posted.remove(&id.0);
+                        return Err(MpiError::Finalized);
+                    }
+                    Some(_) => {}
+                }
+                if simt::now() >= deadline {
+                    return Err(MpiError::Timeout);
+                }
+                let tok = wait_token();
+                s.waiters.push(tok.clone());
+                tok
+            };
+            tok.wake_at(deadline);
+            park();
+        }
+    }
+
+    /// Remove a posted receive. A pinned (already matched) message is
+    /// dropped with the slot. With `drain` set, a still-pending slot leaves
+    /// a one-shot absorber behind so the message it was waiting for is
+    /// dropped on arrival instead of sitting in the unexpected queue forever
+    /// — the cancelled receive's match is consumed either way.
+    pub fn cancel_recv(&self, id: ReqId, drain: bool) {
+        let mut s = self.state.lock();
+        let Some(p) = s.posted.remove(&id.0) else {
+            return;
+        };
+        if drain && matches!(p.state, PostState::Pending) {
+            *s.drains.entry(p.matcher).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of posted (uncompleted or unconsumed) receive slots.
+    pub fn posted_len(&self) -> usize {
+        self.state.lock().posted.len()
+    }
+
+    /// Total count of outstanding cancel drains.
+    pub fn drain_len(&self) -> usize {
+        self.state.lock().drains.values().map(|c| *c as usize).sum()
+    }
+
+    /// True once [`close`](MsgStore::close) ran.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Two handles to the same underlying store?
+    pub fn same_store(&self, other: &MsgStore) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Register a waiter woken at the next push/close (used by batched
+    /// waits; tokens are one-shot and stale wakes are rejected by epoch).
+    pub(crate) fn add_waiter(&self, tok: WaitToken) {
+        self.state.lock().waiters.push(tok);
+    }
+
+    /// Among `ids`, take the ready slot with the earliest completion
+    /// sequence (arrival order), if any.
+    pub(crate) fn take_earliest_ready(&self, ids: &[ReqId]) -> Option<(ReqId, MpiMsg)> {
+        let mut s = self.state.lock();
+        let best = ids
+            .iter()
+            .filter_map(|id| match s.posted.get(&id.0)?.state {
+                PostState::Ready { seq, .. } => Some((seq, *id)),
+                PostState::Pending => None,
+            })
+            .min()?;
+        match s.posted.remove(&best.1 .0).expect("slot exists").state {
+            PostState::Ready { msg, .. } => Some((best.1, msg)),
+            PostState::Pending => unreachable!("checked ready above"),
         }
     }
 
@@ -193,6 +417,150 @@ impl MsgStore {
     /// True when no messages are stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Outcome of one [`CompletionSet::wait_next`] sweep.
+#[derive(Debug)]
+pub enum Completed {
+    /// A posted receive finished. `user` is the token passed to
+    /// [`crate::Request::attach`].
+    Recv {
+        /// Caller-chosen identifier of the completed receive.
+        user: u64,
+        /// The matched message.
+        msg: MpiMsg,
+    },
+    /// The deadline passed before any completion.
+    TimedOut,
+    /// The store closed (process finalized) with receives still pending.
+    Closed,
+}
+
+struct CompletionInner {
+    /// Bound on first attach; all members must share one process store.
+    store: Option<MsgStore>,
+    /// Posted receive id → caller token.
+    pending: BTreeMap<ReqId, u64>,
+    /// Waiters to wake when a new request is attached.
+    tokens: Vec<WaitToken>,
+}
+
+/// A per-process completion queue: a set of posted receives completed in
+/// *arrival order* with one sweep per wake-up, rather than N independent
+/// iprobe polls. Waits are event-driven (woken by message arrival or by a
+/// new attach), so blocking in `wait_next` charges no polling CPU.
+///
+/// Used by the Optimized transport's body pump: the endpoint event loop
+/// attaches one receive per parsed shuffle header and the pump thread
+/// completes whichever body lands first.
+#[derive(Clone)]
+pub struct CompletionSet {
+    inner: Arc<Mutex<CompletionInner>>,
+}
+
+impl Default for CompletionSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionSet {
+    /// An empty set.
+    pub fn new() -> CompletionSet {
+        CompletionSet {
+            inner: Arc::new(Mutex::new(CompletionInner {
+                store: None,
+                pending: BTreeMap::new(),
+                tokens: Vec::new(),
+            })),
+        }
+    }
+
+    /// Add a posted receive under caller token `user` and wake any blocked
+    /// `wait_next`. (Reached through [`crate::Request::attach`].)
+    pub(crate) fn add(&self, store: &MsgStore, id: ReqId, user: u64) {
+        let tokens = {
+            let mut cs = self.inner.lock();
+            match &cs.store {
+                None => cs.store = Some(store.clone()),
+                Some(s) => {
+                    assert!(s.same_store(store), "CompletionSet spans a single process store")
+                }
+            }
+            cs.pending.insert(id, user);
+            std::mem::take(&mut cs.tokens)
+        };
+        for t in tokens {
+            t.wake();
+        }
+    }
+
+    /// Cancel the pending receive attached under `user`, leaving a drain
+    /// absorber behind (see [`MsgStore::cancel_recv`]). Returns false when
+    /// no such entry exists (already completed).
+    pub fn cancel_user(&self, user: u64) -> bool {
+        let removed = {
+            let mut cs = self.inner.lock();
+            let id = cs.pending.iter().find(|(_, u)| **u == user).map(|(id, _)| *id);
+            id.map(|id| {
+                cs.pending.remove(&id);
+                (id, cs.store.clone())
+            })
+        };
+        match removed {
+            Some((id, Some(store))) => {
+                store.cancel_recv(id, true);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of receives still pending completion or consumption.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// True when no receives are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until the earliest-arrived member completes, the optional
+    /// absolute `deadline` passes, or the store closes. One sweep over the
+    /// set per wake-up; completion choice is arrival order (virtual time),
+    /// so it is replay-deterministic.
+    pub fn wait_next(&self, deadline: Option<u64>) -> Completed {
+        loop {
+            // Register the token *before* sweeping so an attach or arrival
+            // between the sweep and `park` still wakes us (stale tokens are
+            // rejected by epoch).
+            let tok = wait_token();
+            let (store, ids) = {
+                let mut cs = self.inner.lock();
+                cs.tokens.push(tok.clone());
+                (cs.store.clone(), cs.pending.keys().copied().collect::<Vec<_>>())
+            };
+            if let Some(store) = &store {
+                store.add_waiter(tok.clone());
+                if let Some((id, msg)) = store.take_earliest_ready(&ids) {
+                    let user =
+                        self.inner.lock().pending.remove(&id).expect("completed id is a member");
+                    return Completed::Recv { user, msg };
+                }
+                if store.is_closed() && !ids.is_empty() {
+                    return Completed::Closed;
+                }
+            }
+            if let Some(d) = deadline {
+                if simt::now() >= d {
+                    return Completed::TimedOut;
+                }
+                tok.wake_at(d);
+            }
+            park();
+        }
     }
 }
 
@@ -420,6 +788,124 @@ mod tests {
         sim.spawn("closer", move || {
             simt::sleep(10);
             store.close();
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn posted_recv_pins_stored_message() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            store.push(msg(1, 0, 10));
+            // Posting pins the stored message: recv can no longer see it.
+            let id = store.post_recv(Matcher { comm: CommId(1), src: None, tag: Some(10) });
+            assert!(store.req_test(id));
+            assert!(store.is_empty());
+            let r =
+                store.recv_timeout(Matcher { comm: CommId(1), src: Some(0), tag: Some(10) }, 500);
+            assert_eq!(r.err(), Some(MpiError::Timeout));
+            let got = store.req_wait(id).unwrap();
+            assert_eq!((got.src_rank, got.tag), (0, 10));
+            assert_eq!(store.posted_len(), 0);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn posted_recvs_match_in_post_order() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            let a = store.post_recv(Matcher { comm: CommId(1), src: None, tag: None });
+            let b = store.post_recv(Matcher { comm: CommId(1), src: None, tag: None });
+            store.push(msg(1, 7, 1));
+            assert!(store.req_test(a) && !store.req_test(b));
+            store.push(msg(1, 8, 2));
+            // Arrival order == completion-seq order.
+            assert_eq!(store.req_completion_seq(a), Some(0));
+            assert_eq!(store.req_completion_seq(b), Some(1));
+            assert_eq!(store.req_wait(a).unwrap().src_rank, 7);
+            assert_eq!(store.req_wait(b).unwrap().src_rank, 8);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn cancel_drain_absorbs_the_late_message() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            let id = store.post_recv(Matcher { comm: CommId(1), src: Some(0), tag: Some(9) });
+            store.cancel_recv(id, true);
+            assert_eq!((store.posted_len(), store.drain_len()), (0, 1));
+            store.push(msg(1, 0, 9));
+            // Absorbed, not stored; drain consumed.
+            assert!(store.is_empty());
+            assert_eq!(store.drain_len(), 0);
+            // A second copy has no drain left and is stored normally.
+            store.push(msg(1, 0, 9));
+            assert_eq!(store.len(), 1);
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn drains_do_not_eat_live_posted_recvs() {
+        let sim = simt::Sim::new();
+        sim.spawn("t", || {
+            let store = MsgStore::default();
+            let m = Matcher { comm: CommId(1), src: Some(0), tag: Some(9) };
+            let stale = store.post_recv(m);
+            store.cancel_recv(stale, true);
+            // A retry posts the same content-addressed matcher.
+            let retry = store.post_recv(m);
+            // First body to land completes the live receive, not the drain.
+            store.push(msg(1, 0, 9));
+            assert!(store.req_test(retry));
+            // The duplicate is absorbed by the drain.
+            store.push(msg(1, 0, 9));
+            assert!(store.is_empty());
+            assert_eq!(store.drain_len(), 0);
+            assert!(store.req_wait(retry).is_ok());
+        });
+        sim.run().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn completion_set_yields_arrival_order_and_times_out() {
+        let sim = simt::Sim::new();
+        let store = MsgStore::default();
+        let set = CompletionSet::new();
+        let (s2, set2) = (store.clone(), set.clone());
+        sim.spawn("waiter", move || {
+            let a = s2.post_recv(Matcher { comm: CommId(1), src: None, tag: Some(1) });
+            let b = s2.post_recv(Matcher { comm: CommId(1), src: None, tag: Some(2) });
+            set2.add(&s2, a, 100);
+            set2.add(&s2, b, 200);
+            // Tag 2 arrives first: completion order is arrival order, not
+            // attach order.
+            match set2.wait_next(None) {
+                Completed::Recv { user, msg } => {
+                    assert_eq!((user, msg.tag), (200, 2));
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+            match set2.wait_next(Some(simt::now() + 500)) {
+                Completed::TimedOut => assert_eq!(simt::now(), 10_500),
+                other => panic!("unexpected: {other:?}"),
+            }
+            match set2.wait_next(None) {
+                Completed::Recv { user, .. } => assert_eq!(user, 100),
+                other => panic!("unexpected: {other:?}"),
+            }
+            assert!(set2.is_empty());
+        });
+        sim.spawn("sender", move || {
+            simt::sleep(10_000);
+            store.push(msg(1, 0, 2));
+            simt::sleep(10_000);
+            store.push(msg(1, 0, 1));
         });
         sim.run().unwrap().assert_clean();
     }

@@ -1,0 +1,153 @@
+//! Property: batched completion is observationally equivalent to sequential
+//! completion. `waitall(reqs)` must yield exactly the payloads a sequential
+//! `wait()` loop yields, in request order, finishing at the same virtual
+//! time — whatever the arrival order, posting order, or send staggering.
+//! This pins the reservation semantics: posted receives reserve their match
+//! at arrival, so no completion strategy can re-match messages differently.
+
+use std::sync::Arc;
+
+use fabric::{ClusterSpec, Net};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rmpi::{mpiexec, waitall, Comm};
+use simt::Sim;
+
+const TAG_BASE: u64 = 10_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Completion {
+    Waitall,
+    Sequential,
+}
+
+/// One observed fan-in round: payload values and sources in request order,
+/// plus the virtual time when the whole batch had completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    values: Vec<u64>,
+    sources: Vec<u32>,
+    done_at: u64,
+}
+
+/// Deterministic permutation of `0..n` derived from `seed` (Fisher–Yates
+/// over a splitmix64 stream).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Rank 0 sends message `i` (value `i`, tag `TAG_BASE + i`) at absolute
+/// virtual time `times[i]`; rank 1 posts receives in `perm` order and
+/// completes them with the given strategy.
+fn run_fanin(times: Vec<u64>, perm: Vec<usize>, mode: Completion) -> Observed {
+    let out: Arc<Mutex<Option<Observed>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    let sim = Sim::new();
+    sim.spawn("launcher", move || {
+        let net = Net::new(&ClusterSpec::test(2));
+        let out3 = out2.clone();
+        mpiexec(&net, &[0, 1], move |comm: Comm| {
+            if comm.rank() == 0 {
+                let mut order: Vec<usize> = (0..times.len()).collect();
+                order.sort_by_key(|&i| (times[i], i));
+                for i in order {
+                    let at = times[i];
+                    if at > simt::now() {
+                        simt::sleep(at - simt::now());
+                    }
+                    comm.send_value(1, TAG_BASE + i as u64, i as u64, 8).unwrap();
+                }
+            } else {
+                let reqs: Vec<rmpi::Request> =
+                    perm.iter().map(|&i| comm.irecv(Some(0), Some(TAG_BASE + i as u64))).collect();
+                let completed: Vec<(u64, u32)> = match mode {
+                    Completion::Waitall => waitall(reqs)
+                        .unwrap()
+                        .into_iter()
+                        .map(|done| {
+                            let (payload, status) = done.expect("receive yields a message");
+                            (*payload.value_as::<u64>().unwrap(), status.source)
+                        })
+                        .collect(),
+                    Completion::Sequential => reqs
+                        .into_iter()
+                        .map(|req| {
+                            let (payload, status) =
+                                req.wait().unwrap().expect("receive yields a message");
+                            (*payload.value_as::<u64>().unwrap(), status.source)
+                        })
+                        .collect(),
+                };
+                *out3.lock() = Some(Observed {
+                    values: completed.iter().map(|(v, _)| *v).collect(),
+                    sources: completed.iter().map(|(_, s)| *s).collect(),
+                    done_at: simt::now(),
+                });
+            }
+        });
+    });
+    sim.run().unwrap().assert_clean();
+    let observed = out.lock().take().expect("receiver finished");
+    sim.shutdown();
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn waitall_matches_sequential_waits(
+        times in proptest::collection::vec(0u64..200_000, 1..14),
+        perm_seed in any::<u64>(),
+    ) {
+        let perm = permutation(times.len(), perm_seed);
+
+        let batched = run_fanin(times.clone(), perm.clone(), Completion::Waitall);
+        let sequential = run_fanin(times.clone(), perm.clone(), Completion::Sequential);
+
+        // Same payloads, same sources, same virtual completion time.
+        prop_assert_eq!(&batched, &sequential);
+
+        // And both honour the reservation contract: request order is the
+        // posting permutation, whatever order the messages arrived in.
+        let expected: Vec<u64> = perm.iter().map(|&i| i as u64).collect();
+        prop_assert_eq!(&batched.values, &expected);
+        prop_assert!(batched.sources.iter().all(|&s| s == 0));
+
+        // A batch can never finish before its slowest member arrives.
+        let slowest = times.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            batched.done_at >= slowest,
+            "batch completed at {} before the last send at {}",
+            batched.done_at,
+            slowest
+        );
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical(
+        times in proptest::collection::vec(0u64..100_000, 1..10),
+        perm_seed in any::<u64>(),
+    ) {
+        // Same seed ⇒ byte-identical observations, run to run: completion
+        // order inside the store derives from virtual time + posting order,
+        // never from host scheduling.
+        let perm = permutation(times.len(), perm_seed);
+        let a = run_fanin(times.clone(), perm.clone(), Completion::Waitall);
+        let b = run_fanin(times.clone(), perm.clone(), Completion::Waitall);
+        prop_assert_eq!(a, b);
+    }
+}

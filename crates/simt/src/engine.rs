@@ -81,6 +81,12 @@ struct State {
     heap: BinaryHeap<Reverse<Event>>,
     threads: Vec<ThreadSlot>,
     live: usize,
+    /// Green threads whose bodies have returned but whose OS threads have not
+    /// been joined yet. The engine drains this every loop iteration: an OS
+    /// thread's stack mapping is only released at join, and a large cell can
+    /// spawn tens of thousands of short-lived tasks — deferring every join to
+    /// `shutdown()` runs the process into `vm.max_map_count`.
+    finished: Vec<TaskId>,
     panic_payload: Option<Box<dyn Any + Send>>,
     shutting_down: bool,
 }
@@ -273,6 +279,7 @@ impl Inner {
         let slot = &mut s.threads[tid.0];
         slot.status = Status::Dead;
         s.live -= 1;
+        s.finished.push(tid);
         if let Some(p) = payload {
             if p.downcast_ref::<ShutdownSignal>().is_none() && s.panic_payload.is_none() {
                 s.panic_payload = Some(p);
@@ -280,6 +287,24 @@ impl Inner {
         }
         drop(s);
         self.engine_gate.open();
+    }
+
+    /// Join the OS threads of green threads that have finished, releasing
+    /// their stack mappings. Runs on the engine thread with the state lock
+    /// released (the joined thread is past `thread_finished` and exits as
+    /// soon as its epilogue runs, so each join is near-instant).
+    fn reap_finished(&self) {
+        let handles: Vec<std::thread::JoinHandle<()>> = {
+            let mut s = self.state.lock();
+            if s.finished.is_empty() {
+                return;
+            }
+            let tids = std::mem::take(&mut s.finished);
+            tids.into_iter().filter_map(|tid| s.threads[tid.0].join.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
@@ -387,6 +412,7 @@ impl Sim {
                     heap: BinaryHeap::new(),
                     threads: Vec::new(),
                     live: 0,
+                    finished: Vec::new(),
                     panic_payload: None,
                     shutting_down: false,
                 }),
@@ -428,6 +454,7 @@ impl Sim {
     /// here. May be called repeatedly (spawn more threads in between).
     pub fn run(&self) -> Result<SimReport, SimError> {
         loop {
+            self.inner.reap_finished();
             let event = {
                 let mut s = self.inner.state.lock();
                 if s.panic_payload.is_some() {
@@ -924,6 +951,27 @@ mod tests {
         sim.run().unwrap();
         sim.shutdown();
         // Dropping sim afterwards must not hang.
+    }
+
+    #[test]
+    fn finished_threads_are_reaped_during_run() {
+        // Every finished green thread's OS thread must be joined by the time
+        // `run()` returns — leaving joins to `shutdown()` retains one stack
+        // mapping per task ever spawned, which exhausts `vm.max_map_count`
+        // on big cells long before memory runs out.
+        let sim = Sim::new();
+        for i in 0..64 {
+            sim.spawn(format!("t{i}"), || crate::sleep(1_000));
+        }
+        sim.run().unwrap();
+        let s = sim.inner.state.lock();
+        assert!(
+            s.threads.iter().all(|t| t.join.is_none()),
+            "unreaped OS threads after run(): {}",
+            s.threads.iter().filter(|t| t.join.is_some()).count()
+        );
+        drop(s);
+        sim.shutdown();
     }
 
     #[test]

@@ -58,7 +58,14 @@ cmp "$TRACE_TMP/a/GroupByTest-MPI-2w.json" "$TRACE_TMP/b/GroupByTest-MPI-2w.json
 }
 rm -rf "$TRACE_TMP"
 
-echo "==> detlint (determinism rules D1-D5)"
+# Fan-in smoke: the body-completion ablation at small scale. The binary
+# asserts the request-based batched path is never slower than the legacy
+# blocking event loop (clean fabric) and strictly faster when an
+# MPI-plane drop window lands mid-shuffle.
+echo "==> fan-in smoke (body-completion ablation, small scale)"
+"$CARGO" run -q --release -p mpi4spark-bench --bin ablation_fanin "$@" -- --scale small
+
+echo "==> detlint (determinism rules D1-D6)"
 "$CARGO" run -q --release -p detlint
 
 echo "==> cargo fmt --check"
