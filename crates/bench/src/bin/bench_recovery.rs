@@ -1,0 +1,225 @@
+//! Recovery-overhead bench: the event-driven stage engine under faults.
+//!
+//! Measures a GroupBy job on MPI4Spark-Optimized across five cells:
+//!
+//! * **fault-free** with speculation off and on — the speculation tick loop
+//!   must cost (virtually) nothing when nothing straggles;
+//! * **crash-map** — the victim node dies as the map stage launches, and
+//!   the stranded tasks are re-run by straggler speculation;
+//! * **crash-reduce** — the victim dies after writing its map outputs, so
+//!   fetch retries exhaust and the scheduler quarantines it, recomputes the
+//!   lost partitions by lineage, and resubmits the reduce attempt;
+//! * **slowdown** with speculation off and on — duplicates on healthy
+//!   executors must beat waiting out the slow node.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin bench_recovery`
+//! JSON artifact: `... --bin bench_recovery -- --json` writes
+//! `BENCH_recovery.json` (virtual job totals, recovery counters, and host
+//! wall-clock simulator throughput per cell).
+
+use fabric::{ClusterSpec, FaultPlan};
+use mpi4spark_bench::report::{print_table, secs};
+use mpi4spark_bench::Scale;
+use sparklet::deploy::ClusterConfig;
+use sparklet::scheduler::SparkContext;
+use sparklet::{SparkConf, SpeculationConf};
+use workloads::System;
+
+const MS: u64 = 1_000_000;
+/// Worker node the faults target (workers 0..3, master 3, driver 4).
+const VICTIM: usize = 1;
+
+fn conf(speculation: bool) -> SparkConf {
+    let mut conf = SparkConf::default();
+    conf.executor_cores = 4;
+    conf.cost.task_overhead_ns = 10_000;
+    conf.merge_chunks_per_request = false;
+    conf.connect_timeout_ns = 50 * MS;
+    conf.request_timeout_ns = 100 * MS;
+    conf.fetch_timeout_ns = 150 * MS;
+    conf.fetch_max_retries = 1;
+    conf.fetch_retry_base_ns = 20 * MS;
+    conf.fetch_retry_max_ns = 100 * MS;
+    conf.speculation = SpeculationConf {
+        enabled: speculation,
+        interval_ns: MS,
+        multiplier: 2.0,
+        quantile: 0.5,
+        min_runtime_ns: MS,
+    };
+    conf
+}
+
+fn groupby(pairs: u64) -> impl Fn(&SparkContext) -> usize + Send + Clone {
+    move |sc| {
+        let data: Vec<(u64, u64)> = (0..pairs).map(|i| (i % 97, i)).collect();
+        sc.parallelize(data, 9).group_by_key(9).collect().len()
+    }
+}
+
+/// One measured cell.
+struct Cell {
+    fault: &'static str,
+    speculation: bool,
+    virtual_ns: u64,
+    wall_ms: u64,
+    resubmits: u64,
+    speculative: u64,
+}
+
+impl Cell {
+    fn sim_rate(&self) -> f64 {
+        self.virtual_ns as f64 / (self.wall_ms as f64 * 1e6).max(1.0)
+    }
+}
+
+fn run_cell(
+    fault: &'static str,
+    speculation: bool,
+    spec: &ClusterSpec,
+    plan: Option<FaultPlan>,
+    linger_ns: u64,
+    pairs: u64,
+) -> Cell {
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf(speculation));
+    let app = groupby(pairs);
+    // detlint: allow(D1, reason = "host wall-clock times the simulator itself, not simulated events")
+    let wall = std::time::Instant::now();
+    let out = match plan {
+        Some(plan) => System::Mpi4Spark.run_with_chaos(spec, cluster, plan, move |sc| {
+            let n = app(sc);
+            simt::sleep(linger_ns);
+            n
+        }),
+        None => System::Mpi4Spark.run(spec, cluster, move |sc| app(sc)),
+    };
+    assert_eq!(out.result, 97, "{fault}: wrong group count");
+    Cell {
+        fault,
+        speculation,
+        virtual_ns: out.total_ns(),
+        wall_ms: wall.elapsed().as_millis() as u64,
+        resubmits: out.stage_resubmits(),
+        speculative: out.speculative_tasks(),
+    }
+}
+
+/// `start_ns` of the named stage in the fault-free speculation-on run.
+fn stage_start(spec: &ClusterSpec, fragment: &str, pairs: u64) -> u64 {
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf(true));
+    let out = System::Mpi4Spark.run(spec, cluster, groupby(pairs));
+    out.jobs
+        .iter()
+        .flat_map(|j| j.stages.iter())
+        .find(|s| s.name == fragment)
+        .unwrap_or_else(|| panic!("no stage named {fragment}"))
+        .start_ns
+}
+
+fn write_json(path: &str, scale: Scale, cells: &[Cell]) {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"fault\":{:?},\"speculation\":{},\"virtual_total_ns\":{},\
+                 \"stage_resubmits\":{},\"speculative_tasks\":{},\"wall_ms\":{},\
+                 \"sim_ns_per_host_ns\":{:.3}}}",
+                c.fault,
+                c.speculation,
+                c.virtual_ns,
+                c.resubmits,
+                c.speculative,
+                c.wall_ms,
+                c.sim_rate()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_recovery\",\n  \"workload\": \"GroupBy 9x9\",\n  \
+         \"system\": \"MPI\",\n  \"scale\": {:?},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        if scale == Scale::Full { "full" } else { "small" },
+        rows.join(",\n")
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let pairs: u64 = match scale {
+        Scale::Full => 40_000,
+        Scale::Small => 2_000,
+    };
+    let spec = ClusterSpec::test(5);
+
+    let map_start = stage_start(&spec, "Job0-ShuffleMapStage", pairs);
+    let reduce_start = stage_start(&spec, "Job0-ResultStage", pairs);
+    let crash = |start: u64, dur: u64| {
+        FaultPlan::seeded(31).crash_node(VICTIM, start.saturating_sub(50_000), dur).build()
+    };
+    let slow = || {
+        FaultPlan::seeded(32)
+            .slow_node(VICTIM, map_start.saturating_sub(50_000), 10_000 * MS, 20 * MS)
+            .build()
+    };
+
+    let cells = vec![
+        run_cell("fault-free", false, &spec, None, 0, pairs),
+        run_cell("fault-free", true, &spec, None, 0, pairs),
+        run_cell("crash-map", true, &spec, Some(crash(map_start, 50 * MS)), 100 * MS, pairs),
+        run_cell(
+            "crash-reduce",
+            true,
+            &spec,
+            Some(crash(reduce_start, 600 * MS)),
+            1_200 * MS,
+            pairs,
+        ),
+        run_cell("slowdown", false, &spec, Some(slow()), 0, pairs),
+        run_cell("slowdown", true, &spec, Some(slow()), 0, pairs),
+    ];
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.fault.to_string(),
+                if c.speculation { "on" } else { "off" }.to_string(),
+                secs(c.virtual_ns),
+                format!("{}", c.resubmits),
+                format!("{}", c.speculative),
+                format!("{:.0}", c.sim_rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Recovery overhead — event-driven stage engine under faults (MPI, GroupBy)",
+        &["fault", "speculation", "job total(s)", "resubmits", "spec tasks", "sim ns/host ns"],
+        &rows,
+    );
+
+    // Contracts the recovery machinery must honour, checked on every run.
+    let get = |fault: &str, spec_on: bool| {
+        cells.iter().find(|c| c.fault == fault && c.speculation == spec_on).expect("cell present")
+    };
+    let (clean_off, clean_on) = (get("fault-free", false), get("fault-free", true));
+    assert_eq!(
+        clean_on.virtual_ns, clean_off.virtual_ns,
+        "the speculation tick loop must not change a straggler-free job's virtual time"
+    );
+    assert!(get("crash-map", true).speculative >= 1, "crash-map must speculate stranded tasks");
+    assert!(get("crash-reduce", true).resubmits >= 1, "crash-reduce must resubmit a stage");
+    let (slow_off, slow_on) = (get("slowdown", false), get("slowdown", true));
+    assert!(
+        2 * slow_on.virtual_ns < slow_off.virtual_ns,
+        "speculation must measurably cut the slowdown cell's virtual job time \
+         ({} vs {} ns)",
+        slow_on.virtual_ns,
+        slow_off.virtual_ns
+    );
+
+    if json {
+        write_json("BENCH_recovery.json", scale, &cells);
+    }
+}

@@ -141,6 +141,24 @@ fn d6_accepts_polling_loops_that_block() {
 }
 
 #[test]
+fn every_rule_fires_on_the_scheduler_shaped_event_loop() {
+    // A stage-attempt event loop (speculation tick, launch bookkeeping,
+    // completion drain, request polling) violating D1-D6 all at once — the
+    // exact shapes `sparklet::scheduler`'s engine must avoid, pinned here
+    // so the sweep keeps guarding them.
+    let src = include_str!("fixtures/sched_event_loop.rs");
+    let diags = scan("sparklet", src);
+    let rules: Vec<&str> = diags.iter().map(|(_, r, _)| r.as_str()).collect();
+    assert_eq!(rules, vec!["D1", "D2", "D3", "D3", "D4", "D5", "D6"], "{diags:?}");
+    assert_eq!(
+        diags.iter().map(|(l, _, _)| *l).collect::<Vec<_>>(),
+        vec![16, 17, 18, 19, 21, 25, 28]
+    );
+    assert!(diags[4].2.contains("`launches`"), "D4 names the hash collection: {}", diags[4].2);
+    assert!(diags[5].2.contains("guard `held` (line 24)"), "D5 names the guard: {}", diags[5].2);
+}
+
+#[test]
 fn allow_directives_with_reason_silence_findings() {
     let src = include_str!("fixtures/allowed.rs");
     assert_eq!(scan("netz", src), vec![]);

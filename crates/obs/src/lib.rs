@@ -62,6 +62,13 @@ pub mod keys {
     /// Shuffle-fetch re-requests issued by the retry layer (process-wide;
     /// 0 on a healthy run).
     pub const SPARK_FETCH_RETRIES: &str = "spark.fetch_retries";
+    /// Blocks whose fetch exhausted the whole retry budget and surfaced a
+    /// terminal error to the reader (each one becomes a `FetchFailed`).
+    pub const SPARK_FETCH_EXHAUSTED: &str = "spark.fetch_exhausted_blocks";
+    /// Stage attempts resubmitted after a `FetchFailed` (driver-side).
+    pub const SPARK_STAGE_RESUBMITS: &str = "spark.stage_resubmits";
+    /// Speculative task copies launched by the straggler policy.
+    pub const SPARK_SPECULATIVE_TASKS: &str = "spark.speculative_tasks";
 
     /// Messages delivered by the fabric.
     pub const NET_DELIVERED_MSGS: &str = "fabric.delivered_msgs";

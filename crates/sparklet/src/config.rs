@@ -103,6 +103,46 @@ impl CostModel {
     }
 }
 
+/// Straggler-speculation policy (`spark.speculation.*` analogs).
+///
+/// The scheduler's event loop wakes every `interval_ns` of virtual time;
+/// once at least `quantile` of a stage's tasks have finished, any task
+/// running longer than `multiplier × median(finished task durations)`
+/// (floored at `min_runtime_ns`) gets one speculative copy launched on a
+/// different healthy executor. First finish wins; the duplicate's late
+/// result is dropped by the (stage, partition, epoch) dedup check.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeculationConf {
+    /// Master switch (`spark.speculation`). Off by default: clean-fabric
+    /// benchmark timelines stay identical to the non-speculative engine.
+    pub enabled: bool,
+    /// Virtual period of the speculation check (`spark.speculation.interval`).
+    pub interval_ns: u64,
+    /// How many times slower than the median a task must be
+    /// (`spark.speculation.multiplier`).
+    pub multiplier: f64,
+    /// Fraction of tasks that must finish before the median is trusted
+    /// (`spark.speculation.quantile`). Spark defaults to 0.75; the engine
+    /// defaults to 0.5 so a crashed executor holding up to half a stage's
+    /// tasks cannot starve the estimator.
+    pub quantile: f64,
+    /// Tasks faster than this are never speculated, whatever the median
+    /// (`spark.speculation.minTaskRuntime`).
+    pub min_runtime_ns: u64,
+}
+
+impl Default for SpeculationConf {
+    fn default() -> Self {
+        SpeculationConf {
+            enabled: false,
+            interval_ns: simt::time::millis(100),
+            multiplier: 1.5,
+            quantile: 0.5,
+            min_runtime_ns: simt::time::millis(100),
+        }
+    }
+}
+
 /// Engine configuration (the `spark.*` properties the paper tunes, §VII-C).
 #[derive(Debug, Clone, Copy)]
 pub struct SparkConf {
@@ -143,6 +183,12 @@ pub struct SparkConf {
     /// don't retry in lockstep, yet every run with the same seed replays
     /// identically.
     pub retry_seed: u64,
+    /// Straggler-speculation policy.
+    pub speculation: SpeculationConf,
+    /// Cap on attempts of one stage (first run + resubmissions after
+    /// `FetchFailed`); exceeding it panics the job, mirroring Spark's
+    /// `spark.stage.maxConsecutiveAttempts` abort.
+    pub max_stage_attempts: u32,
     /// Record tracing spans during the run and export a deterministic
     /// Chrome-trace timeline (virtual-time ticks). Off by default: spans
     /// cost host memory, never virtual time, so enabling it does not
@@ -169,6 +215,8 @@ impl Default for SparkConf {
             fetch_timeout_ns: simt::time::secs(120),
             plane_failure_threshold: 3,
             retry_seed: 0,
+            speculation: SpeculationConf::default(),
+            max_stage_attempts: 4,
             trace_timeline: false,
             cost: CostModel::default(),
         }

@@ -61,6 +61,10 @@ impl RpcEndpoint for ExecutorEndpoint {
             let name = format!("task-e{}-s{}-p{}", services.exec_id, task.stage_seq, task.part);
             // One green thread per running task = one occupied task slot;
             // slot accounting lives in the driver's scheduler.
+            // Launches carry the map-output epoch they were scheduled
+            // under; observing it ages out location tables cached before a
+            // recovery (Spark's `updateEpoch` on task launch).
+            self.services.map_outputs.observe_epoch(task.epoch);
             simt::spawn_daemon(name, move || {
                 let obs = services.net.obs().clone();
                 let _span = obs.is_traced().then(|| {
@@ -69,10 +73,12 @@ impl RpcEndpoint for ExecutorEndpoint {
                         obs::kv! {"stage_seq" => task.stage_seq,
                         "part" => task.part,
                         "attempt" => task.attempt,
+                        "speculative" => task.speculative,
                         "exec" => services.exec_id},
                     )
                 });
-                let ctx = TaskContext::new(services.clone(), task.part, task.attempt);
+                let ctx = TaskContext::new(services.clone(), task.part, task.attempt)
+                    .speculative(task.speculative);
                 ctx.charge(ctx.cost().task_overhead_ns);
                 let t0 = simt::now();
                 let output = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -83,6 +89,7 @@ impl RpcEndpoint for ExecutorEndpoint {
                         Ok(sig) => crate::rdd::TaskOutput::FetchFailed {
                             shuffle_id: sig.shuffle_id,
                             exec_id: sig.exec_id,
+                            map_id: sig.map_id,
                         },
                         Err(other) => std::panic::resume_unwind(other),
                     },
@@ -95,6 +102,7 @@ impl RpcEndpoint for ExecutorEndpoint {
                         stage_seq: task.stage_seq,
                         part: task.part,
                         exec_id: services.exec_id,
+                        epoch: task.epoch,
                         output: Mutex::new(Some(output)),
                         metrics,
                     },
@@ -104,7 +112,7 @@ impl RpcEndpoint for ExecutorEndpoint {
             return;
         }
         if let Ok(inv) = msg.clone().downcast::<InvalidateShuffle>() {
-            self.services.map_outputs.invalidate(inv.shuffle_id);
+            self.services.map_outputs.invalidate_as_of(inv.shuffle_id, inv.epoch);
             return;
         }
         if msg.clone().downcast::<KillShuffleService>().is_ok() {

@@ -150,7 +150,7 @@ pub fn driver_main_ext<R: Send + 'static>(
         ext,
     };
     let env = RpcEnv::new(net, &identity, &backend, None);
-    let sched = Arc::new(DagScheduler::new());
+    let sched = Arc::new(DagScheduler::with_conf(cluster.conf));
     sched.attach_env(env.clone());
     env.register("DagScheduler", sched.clone());
     env.register("MapOutputTracker", sched.tracker.clone());

@@ -39,7 +39,7 @@ pub mod task;
 pub mod transfer;
 
 pub use broadcast::Broadcast;
-pub use config::{CostModel, SparkConf};
+pub use config::{CostModel, SparkConf, SpeculationConf};
 pub use data::{Blob, Element};
 pub use deploy::{ClusterConfig, ExecutorLauncher, ProcessBuilderLauncher};
 pub use net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity, Role, VanillaBackend};

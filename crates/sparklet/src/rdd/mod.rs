@@ -34,8 +34,11 @@ pub enum TaskOutput {
     FetchFailed {
         /// Shuffle whose blocks were unreachable.
         shuffle_id: u32,
-        /// Executor that failed to serve them.
-        exec_id: usize,
+        /// Executor that failed to serve them (`None`: the map-output
+        /// *metadata* lookup failed, nobody to quarantine).
+        exec_id: Option<usize>,
+        /// First implicated map output, when the failed block is known.
+        map_id: Option<u32>,
     },
 }
 

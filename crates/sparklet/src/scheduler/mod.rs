@@ -5,9 +5,18 @@
 //! vocabulary of the paper's Fig. 10/11 breakdowns. Stage timings and
 //! shuffle metrics are recorded per job for the benchmark harnesses.
 //!
+//! Stages run on an event-driven state machine ([`stage`]): each stage is a
+//! sequence of *attempts*, a `FetchFailed` completion resubmits the missing
+//! partitions against a freshly bumped map-output epoch after recomputing
+//! lost parents by lineage, and an optional speculation tick re-launches
+//! straggler tasks on healthy executors ([`speculation`]).
+//!
 //! Task placement is strict modulo (`partition % executors`): deterministic
 //! and cache-friendly (a cached partition is always recomputed on the
 //! executor that cached it), standing in for Spark's locality preferences.
+
+pub mod speculation;
+mod stage;
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -32,6 +41,8 @@ use crate::shuffle::MapOutputTrackerMaster;
 pub struct StageMetrics {
     /// Stage label (`Job1-ShuffleMapStage`, `Job1-ResultStage`, ...).
     pub name: String,
+    /// Attempt number of this run of the stage (0 on the first submission).
+    pub attempt: u32,
     /// Virtual start time.
     pub start_ns: u64,
     /// Virtual end time.
@@ -110,20 +121,6 @@ impl JobMetrics {
         );
         Some(first.duration_ns())
     }
-
-    /// Aggregate fetch-wait over all stages.
-    #[doc(hidden)]
-    #[deprecated(note = "read StageMetrics::fetch_wait_ns per stage instead")]
-    pub fn fetch_wait_ns(&self) -> u64 {
-        self.stages.iter().map(StageMetrics::fetch_wait_ns).sum()
-    }
-
-    /// Aggregate remote bytes over all stages.
-    #[doc(hidden)]
-    #[deprecated(note = "read StageMetrics::remote_bytes per stage instead")]
-    pub fn remote_bytes(&self) -> u64 {
-        self.stages.iter().map(StageMetrics::remote_bytes).sum()
-    }
 }
 
 // --- messages exchanged with executors --------------------------------------
@@ -140,12 +137,18 @@ pub struct RegisterExecutor {
 
 /// Scheduler → executor task launch (one-way).
 pub struct LaunchTask {
-    /// Stage instance the task belongs to.
+    /// Stage instance (attempt) the task belongs to.
     pub stage_seq: u64,
     /// Partition to compute.
     pub part: usize,
-    /// Attempt number.
+    /// Stage attempt number.
     pub attempt: u32,
+    /// Map-output epoch the attempt was launched under; echoed back in
+    /// [`TaskFinishedMsg`] for stale-attempt discard and used by executors
+    /// to age their location caches.
+    pub epoch: u64,
+    /// True for a straggler-speculation duplicate.
+    pub speculative: bool,
     /// The work.
     pub runner: Arc<dyn TaskRunner>,
 }
@@ -158,6 +161,8 @@ pub struct TaskFinishedMsg {
     pub part: usize,
     /// Reporting executor.
     pub exec_id: usize,
+    /// Epoch the task was launched under (stale-attempt discard).
+    pub epoch: u64,
     /// The output (taken once by the scheduler).
     pub output: Mutex<Option<TaskOutput>>,
     /// Snapshot of the task's metrics registry.
@@ -167,19 +172,22 @@ pub struct TaskFinishedMsg {
 /// Executor stop command (one-way).
 pub struct StopExecutor;
 
-/// Scheduler → executor: drop the cached map-output table for a shuffle
-/// whose locations changed after recovery (one-way).
+/// Scheduler → executor: map outputs for a shuffle changed location as of
+/// `epoch` — drop location tables cached under older epochs (one-way).
 pub struct InvalidateShuffle {
     /// The shuffle to invalidate.
     pub shuffle_id: u32,
+    /// Tracker epoch after the loss.
+    pub epoch: u64,
 }
 
-enum SchedEvent {
+pub(crate) enum SchedEvent {
     ExecutorRegistered,
     TaskFinished {
         stage_seq: u64,
         part: usize,
         exec_id: usize,
+        epoch: u64,
         output: TaskOutput,
         metrics: obs::MetricsSnapshot,
     },
@@ -199,6 +207,7 @@ pub struct ExecutorHandle {
 /// The driver-side scheduler.
 pub struct DagScheduler {
     env: OnceLock<Arc<RpcEnv>>,
+    conf: SparkConf,
     executors: Mutex<Vec<ExecutorHandle>>,
     events: Queue<SchedEvent>,
     /// Map-output registry (also registered as an RPC endpoint).
@@ -220,10 +229,17 @@ impl Default for DagScheduler {
 }
 
 impl DagScheduler {
-    /// Fresh scheduler.
+    /// Fresh scheduler with default configuration (speculation off).
     pub fn new() -> Self {
+        Self::with_conf(SparkConf::default())
+    }
+
+    /// Fresh scheduler driven by `conf` (stage-attempt cap, speculation
+    /// policy).
+    pub fn with_conf(conf: SparkConf) -> Self {
         DagScheduler {
             env: OnceLock::new(),
+            conf,
             executors: Mutex::new(Vec::new()),
             events: Queue::new(),
             tracker: Arc::new(MapOutputTrackerMaster::default()),
@@ -271,77 +287,6 @@ impl DagScheduler {
     fn obs(&self) -> obs::Obs {
         self.env.get().map(|e| e.obs().clone()).unwrap_or_else(obs::Obs::disabled)
     }
-
-    fn run_stage(
-        &self,
-        name: String,
-        tasks: Vec<(usize, Arc<dyn TaskRunner>)>,
-    ) -> (StageMetrics, Vec<(usize, TaskOutput)>) {
-        let obs = self.obs();
-        let _span = obs
-            .is_traced()
-            .then(|| obs.span("spark.stage", obs::kv! {"name" => &name, "tasks" => tasks.len()}));
-        let stage_seq = self.next_stage_seq.fetch_add(1, Ordering::Relaxed);
-        let quarantined = self.quarantined.lock().clone();
-        let execs: Vec<ExecutorHandle> =
-            self.executors().into_iter().filter(|e| !quarantined.contains(&e.exec_id)).collect();
-        assert!(!execs.is_empty(), "no healthy executors registered");
-        let n_exec = execs.len();
-        let n = tasks.len();
-        let start_ns = simt::now();
-
-        // Strict modulo placement (over healthy executors).
-        let mut queues: Vec<std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>> =
-            (0..n_exec).map(|_| Default::default()).collect();
-        for (p, t) in tasks {
-            queues[p % n_exec].push_back((p, t));
-        }
-        let mut free: Vec<u32> = execs.iter().map(|e| e.cores).collect();
-
-        let dispatch = |e: usize,
-                        free: &mut Vec<u32>,
-                        queues: &mut Vec<
-            std::collections::VecDeque<(usize, Arc<dyn TaskRunner>)>,
-        >| {
-            while free[e] > 0 {
-                let Some((part, runner)) = queues[e].pop_front() else {
-                    break;
-                };
-                free[e] -= 1;
-                execs[e]
-                    .rpc
-                    .send(LaunchTask { stage_seq, part, attempt: 0, runner })
-                    .expect("executor reachable");
-            }
-        };
-        for e in 0..n_exec {
-            dispatch(e, &mut free, &mut queues);
-        }
-
-        let mut outputs: Vec<(usize, TaskOutput)> = Vec::with_capacity(n);
-        let mut done = 0usize;
-        let mut stage_snapshot = obs::MetricsSnapshot::default();
-        while done < n {
-            match self.events.recv().expect("scheduler event queue open") {
-                SchedEvent::ExecutorRegistered => {}
-                SchedEvent::TaskFinished { stage_seq: s, part, exec_id, output, metrics } => {
-                    if s != stage_seq {
-                        continue; // stray completion from an aborted stage
-                    }
-                    let slot = execs.iter().position(|e| e.exec_id == exec_id).expect("known exec");
-                    free[slot] += 1;
-                    dispatch(slot, &mut free, &mut queues);
-                    outputs.push((part, output));
-                    stage_snapshot.merge(&metrics);
-                    done += 1;
-                }
-            }
-        }
-        (
-            StageMetrics { name, start_ns, end_ns: simt::now(), tasks: n, metrics: stage_snapshot },
-            outputs,
-        )
-    }
 }
 
 impl JobRunner for DagScheduler {
@@ -356,105 +301,7 @@ impl JobRunner for DagScheduler {
             .is_traced()
             .then(|| obs.span("spark.job", obs::kv! {"job_id" => job_id, "action" => &job.action}));
         let start_ns = simt::now();
-        let mut stages = Vec::new();
-
-        for dep in &job.shuffle_stages {
-            if self.computed_shuffles.lock().contains(&dep.shuffle_id()) {
-                continue;
-            }
-            self.tracker.register_shuffle(dep.shuffle_id(), dep.num_maps());
-            let tasks: Vec<(usize, Arc<dyn TaskRunner>)> =
-                (0..dep.num_maps()).map(|p| (p, dep.make_map_task(p))).collect();
-            let (sm, outputs) = self.run_stage(format!("Job{job_id}-ShuffleMapStage"), tasks);
-            for (_, out) in outputs {
-                match out {
-                    TaskOutput::Map(status) => {
-                        self.tracker.register_map_output(dep.shuffle_id(), status)
-                    }
-                    _ => panic!("map stage produced a non-map output"),
-                }
-            }
-            debug_assert!(self.tracker.is_complete(dep.shuffle_id()));
-            self.computed_shuffles.lock().insert(dep.shuffle_id());
-            stages.push(sm);
-        }
-
-        // Result stage with fetch-failure recovery: a FetchFailed output
-        // quarantines the failing executor, recomputes its lost map outputs
-        // via lineage on the healthy executors, and retries the failed
-        // partitions (Spark's FetchFailedException / stage-resubmission).
-        let mut results_by_part: Vec<Option<AnyMsg>> =
-            (0..job.result_tasks.len()).map(|_| None).collect();
-        let mut pending: Vec<(usize, Arc<dyn TaskRunner>)> =
-            job.result_tasks.iter().cloned().enumerate().collect();
-        let mut attempt = 0;
-        while !pending.is_empty() {
-            assert!(attempt < 4, "result stage failed after {attempt} recovery attempts");
-            let (sm, outputs) =
-                self.run_stage(format!("Job{job_id}-ResultStage"), std::mem::take(&mut pending));
-            stages.push(sm);
-            let mut failed_execs: BTreeSet<usize> = BTreeSet::new();
-            let mut failed_shuffles: BTreeSet<u32> = BTreeSet::new();
-            let mut retry_parts: Vec<usize> = Vec::new();
-            for (part, out) in outputs {
-                match out {
-                    TaskOutput::Result(r) => results_by_part[part] = Some(r),
-                    TaskOutput::FetchFailed { shuffle_id, exec_id } => {
-                        failed_execs.insert(exec_id);
-                        failed_shuffles.insert(shuffle_id);
-                        retry_parts.push(part);
-                    }
-                    TaskOutput::Map(_) => panic!("result stage produced a map output"),
-                }
-            }
-            if retry_parts.is_empty() {
-                break;
-            }
-            // Quarantine and recompute the lost map outputs.
-            let mut lost: Vec<(u32, Vec<u32>)> = Vec::new();
-            {
-                let mut q = self.quarantined.lock();
-                for e in &failed_execs {
-                    q.insert(*e);
-                }
-            }
-            for e in &failed_execs {
-                lost.extend(self.tracker.remove_executor(*e));
-            }
-            // Every executor may hold a stale location table.
-            for shuffle_id in &failed_shuffles {
-                for e in self.executors() {
-                    let _ = e.rpc.send(InvalidateShuffle { shuffle_id: *shuffle_id });
-                }
-            }
-            for (shuffle_id, maps) in lost {
-                let dep = job
-                    .shuffle_stages
-                    .iter()
-                    .find(|d| d.shuffle_id() == shuffle_id)
-                    .unwrap_or_else(|| panic!("lineage for shuffle {shuffle_id} available"));
-                let tasks: Vec<(usize, Arc<dyn TaskRunner>)> =
-                    maps.iter().map(|m| (*m as usize, dep.make_map_task(*m as usize))).collect();
-                let (sm, outputs) =
-                    self.run_stage(format!("Job{job_id}-ShuffleMapStage-retry"), tasks);
-                stages.push(sm);
-                for (_, out) in outputs {
-                    match out {
-                        TaskOutput::Map(status) => {
-                            self.tracker.register_map_output(shuffle_id, status)
-                        }
-                        _ => panic!("map retry produced a non-map output"),
-                    }
-                }
-            }
-            pending = retry_parts.into_iter().map(|p| (p, job.result_tasks[p].clone())).collect();
-            attempt += 1;
-        }
-        let results: Vec<AnyMsg> = results_by_part
-            .into_iter()
-            .map(|o| o.expect("every result partition completed"))
-            .collect();
-
+        let (results, stages) = stage::run_job(self, &job, job_id);
         self.metrics.lock().push(JobMetrics {
             job_id,
             action: job.action,
@@ -489,6 +336,7 @@ impl RpcEndpoint for DagScheduler {
                 stage_seq: fin.stage_seq,
                 part: fin.part,
                 exec_id: fin.exec_id,
+                epoch: fin.epoch,
                 output,
                 metrics: fin.metrics.clone(),
             });

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::PortAddr;
@@ -30,8 +31,29 @@ use crate::transfer::FetchResult;
 pub struct FetchFailedSignal {
     /// Shuffle whose blocks were unreachable.
     pub shuffle_id: u32,
-    /// Executor that failed to serve them.
-    pub exec_id: usize,
+    /// Executor that failed to serve them; `None` when the failure was a
+    /// map-output *metadata* lookup (tracker unreachable), in which case no
+    /// executor is quarantined and the partition is simply retried.
+    pub exec_id: Option<usize>,
+    /// First map output implicated by the failed block, when known.
+    pub map_id: Option<u32>,
+}
+
+/// Throw a [`FetchFailedSignal`] out of the current task. The signal is
+/// control flow, not a bug — the executor's task wrapper always catches it —
+/// so the global panic printer is taught (once) to stay quiet about this
+/// payload type while still reporting every other panic.
+fn throw_fetch_failed(signal: FetchFailedSignal) -> ! {
+    static SILENCE: std::sync::Once = std::sync::Once::new();
+    SILENCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FetchFailedSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+    std::panic::panic_any(signal)
 }
 
 /// Location and sizes of one map task's output (Spark's `MapStatus`).
@@ -55,10 +77,25 @@ pub struct GetMapOutputs {
     pub shuffle_id: u32,
 }
 
+/// Tracker reply: the statuses plus the epoch they were read under, so
+/// executor caches can order their contents against invalidations.
+pub struct MapOutputsReply {
+    /// Tracker epoch at read time.
+    pub epoch: u64,
+    /// One status per map partition.
+    pub statuses: Arc<Vec<MapStatus>>,
+}
+
 /// Driver-side map output registry (Spark's `MapOutputTrackerMaster`).
+///
+/// State is *epoch-versioned*: every loss of map outputs (executor removal)
+/// bumps a monotonic epoch. Task launches carry the current epoch, executor
+/// caches are keyed by it, and late completions from attempts launched under
+/// an older epoch are discarded by the scheduler.
 #[derive(Default)]
 pub struct MapOutputTrackerMaster {
     outputs: Mutex<BTreeMap<u32, Vec<Option<MapStatus>>>>,
+    epoch: AtomicU64,
 }
 
 impl MapOutputTrackerMaster {
@@ -75,8 +112,19 @@ impl MapOutputTrackerMaster {
         slots[idx] = Some(status);
     }
 
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advance the epoch after map outputs were lost; returns the new value.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Remove all statuses for an executor (fault injection / recovery);
-    /// returns the map ids that must be recomputed per shuffle.
+    /// returns the map ids that must be recomputed per shuffle. Bumps the
+    /// epoch when anything was lost.
     pub fn remove_executor(&self, exec_id: usize) -> Vec<(u32, Vec<u32>)> {
         let mut lost = Vec::new();
         for (shuffle, slots) in self.outputs.lock().iter_mut() {
@@ -93,12 +141,23 @@ impl MapOutputTrackerMaster {
                 lost.push((*shuffle, maps));
             }
         }
+        if !lost.is_empty() {
+            self.bump_epoch();
+        }
         lost
     }
 
     /// True when every map slot is filled.
     pub fn is_complete(&self, shuffle_id: u32) -> bool {
         self.outputs.lock().get(&shuffle_id).is_some_and(|slots| slots.iter().all(Option::is_some))
+    }
+
+    /// Map ids of `shuffle_id` with no registered output (empty when
+    /// complete; all of them right after registration).
+    pub fn missing_maps(&self, shuffle_id: u32) -> Vec<u32> {
+        let o = self.outputs.lock();
+        let slots = o.get(&shuffle_id).expect("shuffle registered");
+        slots.iter().enumerate().filter_map(|(i, s)| s.is_none().then_some(i as u32)).collect()
     }
 
     fn statuses(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
@@ -119,40 +178,104 @@ impl RpcEndpoint for MapOutputTrackerMaster {
             return;
         };
         if let Some(reply) = reply {
-            reply(self.statuses(req.shuffle_id));
+            // Read the epoch before the statuses: a concurrent bump then
+            // yields a stale epoch with fresh statuses, which only makes the
+            // client re-fetch — never serve stale locations as current.
+            let epoch = self.epoch();
+            reply(Arc::new(MapOutputsReply { epoch, statuses: self.statuses(req.shuffle_id) }));
         }
     }
 }
 
-/// Executor-side tracker client with a per-shuffle cache.
+/// One cached map-output table with the epoch it was fetched under.
+struct CachedOutputs {
+    epoch: u64,
+    statuses: Arc<Vec<MapStatus>>,
+}
+
+/// Executor-side tracker client with an epoch-aware per-shuffle cache.
 #[derive(Clone)]
 pub struct MapOutputClient {
     tracker: RpcRef,
-    cache: Arc<Mutex<BTreeMap<u32, Arc<Vec<MapStatus>>>>>,
+    cache: Arc<Mutex<BTreeMap<u32, CachedOutputs>>>,
+    /// Highest epoch this executor has observed (from task launches or
+    /// invalidations); cached tables older than it are dropped.
+    seen_epoch: Arc<AtomicU64>,
+    /// Wait between tracker lookup retries before giving up (virtual ns).
+    retry_wait_ns: u64,
 }
 
 impl MapOutputClient {
+    /// Tracker lookup attempts before the failure surfaces as a
+    /// metadata-level [`FetchFailedSignal`].
+    const ASK_ATTEMPTS: u32 = 3;
+
     /// Client talking to the driver's tracker endpoint.
     pub fn new(tracker: RpcRef) -> Self {
-        MapOutputClient { tracker, cache: Arc::default() }
+        MapOutputClient {
+            tracker,
+            cache: Arc::default(),
+            seen_epoch: Arc::default(),
+            retry_wait_ns: simt::time::millis(50),
+        }
     }
 
     /// Statuses for `shuffle_id` (cached after the first fetch — Spark
     /// executors do the same, which matters because every reduce task on
-    /// the executor needs the same table).
+    /// the executor needs the same table). Entries fetched under an epoch
+    /// older than the executor's observed one are refreshed. An unreachable
+    /// tracker is retried a few times, then reported as a metadata fetch
+    /// failure (`exec_id: None`) so the scheduler retries the partition
+    /// without quarantining anyone.
     pub fn get(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
-        if let Some(s) = self.cache.lock().get(&shuffle_id) {
-            return s.clone();
+        let floor = self.seen_epoch.load(Ordering::SeqCst);
+        if let Some(c) = self.cache.lock().get(&shuffle_id) {
+            if c.epoch >= floor {
+                return c.statuses.clone();
+            }
         }
-        let statuses = self
-            .tracker
-            .ask::<Vec<MapStatus>>(GetMapOutputs { shuffle_id })
-            .expect("map output tracker reachable");
-        self.cache.lock().insert(shuffle_id, statuses.clone());
+        let mut attempt = 0;
+        let reply = loop {
+            match self.tracker.ask::<MapOutputsReply>(GetMapOutputs { shuffle_id }) {
+                Ok(r) => break r,
+                Err(_) => {
+                    attempt += 1;
+                    if attempt >= Self::ASK_ATTEMPTS {
+                        throw_fetch_failed(FetchFailedSignal {
+                            shuffle_id,
+                            exec_id: None,
+                            map_id: None,
+                        });
+                    }
+                    simt::sleep(self.retry_wait_ns);
+                }
+            }
+        };
+        let statuses = reply.statuses.clone();
+        self.cache
+            .lock()
+            .insert(shuffle_id, CachedOutputs { epoch: reply.epoch, statuses: statuses.clone() });
         statuses
     }
 
-    /// Drop a cached table (fetch-failure recovery path).
+    /// Raise the observed epoch (from a task launch or an invalidation
+    /// broadcast); tables cached under older epochs will be re-fetched.
+    pub fn observe_epoch(&self, epoch: u64) {
+        self.seen_epoch.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// Drop a cached table because its locations changed as of `epoch`
+    /// (the scheduler's `InvalidateShuffle` broadcast).
+    pub fn invalidate_as_of(&self, shuffle_id: u32, epoch: u64) {
+        self.observe_epoch(epoch);
+        let mut cache = self.cache.lock();
+        if cache.get(&shuffle_id).is_some_and(|c| c.epoch < epoch) {
+            cache.remove(&shuffle_id);
+        }
+    }
+
+    /// Drop a cached table unconditionally (local fetch-failure path: the
+    /// retry must re-resolve locations whatever the epoch).
     pub fn invalidate(&self, shuffle_id: u32) {
         self.cache.lock().remove(&shuffle_id);
     }
@@ -312,11 +435,16 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         let blocks = match res.result {
             Ok(b) => b,
             Err(_e) => {
-                let exec_id = res.blocks.first().and_then(|b| exec_of.get(b)).copied().unwrap_or(0);
+                let first = res.blocks.first();
+                let exec_id = first.and_then(|b| exec_of.get(b)).copied();
+                let map_id = first.and_then(|b| match b {
+                    BlockId::Shuffle { map_id, .. } => Some(*map_id),
+                    BlockId::Rdd { .. } => None,
+                });
                 // Invalidate the cached map-output table so the retry sees
                 // the recomputed locations.
                 ctx.services.map_outputs.invalidate(shuffle_id);
-                std::panic::panic_any(FetchFailedSignal { shuffle_id, exec_id });
+                throw_fetch_failed(FetchFailedSignal { shuffle_id, exec_id, map_id });
             }
         };
         if res.last {

@@ -545,7 +545,18 @@ impl RetryInner {
                 self.note_plane_failure();
             }
             if retries >= self.conf.max_retries {
+                // Budget exhausted: every still-missing block surfaces a
+                // terminal error to the reader, which raises FetchFailed to
+                // the scheduler — this is the handoff from fetch-level
+                // retry to stage-level recovery.
                 let n = missing.len();
+                self.obs.registry().counter(obs::keys::SPARK_FETCH_EXHAUSTED).add(n as u64);
+                self.obs.event(
+                    "spark.fetch.exhausted",
+                    obs::kv! {"remote" => remote.node,
+                    "missing" => n,
+                    "retries" => retries},
+                );
                 for (i, b) in missing.into_iter().enumerate() {
                     sink.send(FetchResult {
                         blocks: vec![b],

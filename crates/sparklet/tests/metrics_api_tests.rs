@@ -9,6 +9,7 @@ use sparklet::scheduler::{JobMetrics, StageMetrics};
 fn stage(name: &str, start_ns: u64, end_ns: u64) -> StageMetrics {
     StageMetrics {
         name: name.to_string(),
+        attempt: 0,
         start_ns,
         end_ns,
         tasks: 1,
@@ -58,12 +59,4 @@ fn stage_accessors_read_the_merged_snapshot() {
     assert_eq!(s.remote_bytes(), 100);
     assert_eq!(s.local_bytes(), 30);
     assert_eq!(s.records_out(), 5);
-
-    // The deprecated job-level aggregates still sum over stages.
-    let j = job(vec![s]);
-    #[allow(deprecated)]
-    {
-        assert_eq!(j.fetch_wait_ns(), 7);
-        assert_eq!(j.remote_bytes(), 100);
-    }
 }

@@ -87,6 +87,18 @@ impl<R> RunOutcome<R> {
     pub fn chaos_delayed(&self) -> u64 {
         self.metrics.counter(obs::keys::NET_CHAOS_DELAYED_MSGS)
     }
+
+    /// Stage attempts the scheduler resubmitted after fetch failures
+    /// (0 in a fault-free run).
+    pub fn stage_resubmits(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_STAGE_RESUBMITS)
+    }
+
+    /// Speculative task copies the scheduler launched (0 with speculation
+    /// disabled or no stragglers).
+    pub fn speculative_tasks(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_SPECULATIVE_TASKS)
+    }
 }
 
 impl System {

@@ -17,6 +17,12 @@ echo "==> cargo test -q"
 echo "==> chaos matrix (fixed seeds)"
 "$CARGO" test -q -p sparklet --test chaos_tests "$@"
 
+# Recovery matrix: executor crash during map / during reduce fetch and a
+# slowdown-induced speculation cell on all four backends, plus the
+# byte-identical same-seed recovery timeline check.
+echo "==> recovery matrix (stage resubmission + speculation)"
+"$CARGO" test -q -p sparklet --test recovery_chaos_tests "$@"
+
 # Randomized-seed smoke: every run exercises a fresh fault schedule. The
 # seed is printed up front — replaying a failure is
 # `CHAOS_SEED=<seed> scripts/ci.sh` (the whole run is a pure function of
@@ -64,6 +70,13 @@ rm -rf "$TRACE_TMP"
 # MPI-plane drop window lands mid-shuffle.
 echo "==> fan-in smoke (body-completion ablation, small scale)"
 "$CARGO" run -q --release -p mpi4spark-bench --bin ablation_fanin "$@" -- --scale small
+
+# Recovery smoke: the recovery-overhead bench at small scale. The binary
+# asserts speculation is free on a fault-free run, that the crash cells
+# recover through speculation / stage resubmission, and that speculation
+# measurably cuts the slowdown cell's virtual job time.
+echo "==> recovery smoke (crash + slowdown cells, small scale)"
+"$CARGO" run -q --release -p mpi4spark-bench --bin bench_recovery "$@" -- --scale small
 
 echo "==> detlint (determinism rules D1-D6)"
 "$CARGO" run -q --release -p detlint
