@@ -1,0 +1,197 @@
+//! Adaptive-execution bench: zipfian GroupBy, static vs adaptive plans.
+//!
+//! Runs the OHB GroupByTest over zipf(2.5)-keyed data on all four systems,
+//! once with AQE off (the static oracle) and once with AQE on. The hot key
+//! concentrates a large fraction of the shuffle in one reduce bucket; the
+//! adaptive plan splits that bucket into map-range slices (two-phase
+//! aggregation) and coalesces the near-empty tail, so the reduce stage's
+//! critical path drops from "the one hot task" to "the widest slice".
+//!
+//! Reported per cell: virtual GroupBy-job time, whole-app virtual time,
+//! AQE task/slice/coalesce counters, and host wall-clock throughput.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin bench_aqe`
+//! JSON artifact: `... --bin bench_aqe -- --json` writes `BENCH_aqe.json`.
+
+use fabric::ClusterSpec;
+use mpi4spark_bench::report::{print_table, ratio, secs};
+use mpi4spark_bench::Scale;
+use sparklet::deploy::ClusterConfig;
+use sparklet::{AqeConf, SparkConf};
+use workloads::ohb::{group_by_zipf_app, OhbConfig};
+use workloads::System;
+
+/// Zipf exponent for the key distribution: the head key carries ~75% of all
+/// records, the canonical "one hot reducer" shape.
+const EXPONENT: f64 = 2.5;
+
+fn ohb_config(scale: Scale, partitions: usize) -> OhbConfig {
+    let (records_per_partition, value_bytes) = match scale {
+        Scale::Full => (8_000, 100),
+        Scale::Small => (2_000, 100),
+    };
+    OhbConfig { partitions, records_per_partition, value_bytes, key_range: 1_000, seed: 0xA0E }
+}
+
+fn conf(aqe: Option<AqeConf>) -> SparkConf {
+    let mut conf = SparkConf::default();
+    conf.executor_cores = 4;
+    conf.cost.task_overhead_ns = 10_000;
+    if let Some(aqe) = aqe {
+        conf.aqe = aqe;
+    }
+    conf
+}
+
+/// One measured cell: one system, AQE on or off.
+struct Cell {
+    system: System,
+    adaptive: bool,
+    /// Distinct groups the job returned (equality across cells is the
+    /// correctness contract).
+    groups: u64,
+    /// Virtual duration of the GroupBy job alone (job 1; job 0 is datagen).
+    groupby_ns: u64,
+    /// Virtual duration summed over both jobs.
+    total_ns: u64,
+    aqe_tasks: u64,
+    split_slices: u64,
+    coalesced: u64,
+    wall_ms: u64,
+}
+
+impl Cell {
+    fn sim_rate(&self) -> f64 {
+        self.total_ns as f64 / (self.wall_ms as f64 * 1e6).max(1.0)
+    }
+}
+
+fn run_cell(system: System, spec: &ClusterSpec, cfg: OhbConfig, aqe: Option<AqeConf>) -> Cell {
+    let cluster = ClusterConfig::paper_layout(spec.len(), conf(aqe));
+    // detlint: allow(D1, reason = "host wall-clock times the simulator itself, not simulated events")
+    let wall = std::time::Instant::now();
+    let out = system.run(spec, cluster, move |sc| group_by_zipf_app(sc, cfg, EXPONENT));
+    Cell {
+        system,
+        adaptive: aqe.is_some(),
+        groups: out.result,
+        groupby_ns: out.jobs[1].duration_ns(),
+        total_ns: out.total_ns(),
+        aqe_tasks: out.aqe_tasks(),
+        split_slices: out.aqe_split_slices(),
+        coalesced: out.aqe_coalesced_tasks(),
+        wall_ms: wall.elapsed().as_millis() as u64,
+    }
+}
+
+fn write_json(path: &str, scale: Scale, cfg: &OhbConfig, cells: &[Cell]) {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"system\":{:?},\"adaptive\":{},\"groups\":{},\"groupby_ns\":{},\
+                 \"total_ns\":{},\"aqe_tasks\":{},\"aqe_split_slices\":{},\
+                 \"aqe_coalesced_tasks\":{},\"wall_ms\":{},\"sim_ns_per_host_ns\":{:.3}}}",
+                c.system.label(),
+                c.adaptive,
+                c.groups,
+                c.groupby_ns,
+                c.total_ns,
+                c.aqe_tasks,
+                c.split_slices,
+                c.coalesced,
+                c.wall_ms,
+                c.sim_rate()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_aqe\",\n  \"workload\": \"GroupBy zipf({EXPONENT})\",\n  \
+         \"records\": {},\n  \"value_bytes\": {},\n  \"partitions\": {},\n  \
+         \"scale\": {:?},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cfg.partitions as u64 * cfg.records_per_partition,
+        cfg.value_bytes,
+        cfg.partitions,
+        if scale == Scale::Full { "full" } else { "small" },
+        rows.join(",\n")
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let spec = ClusterSpec::test(10);
+    let partitions = 32;
+    let cfg = ohb_config(scale, partitions);
+    // Target ≈ the average bucket: the hot bucket (~24× the average) splits
+    // into map-range slices, the zipf tail coalesces.
+    let aqe = AqeConf {
+        enabled: true,
+        target_bytes: cfg.total_bytes() / partitions as u64,
+        skew_factor: 2.0,
+        max_slices: 32,
+    };
+
+    let systems = [System::Vanilla, System::RdmaSpark, System::Mpi4SparkBasic, System::Mpi4Spark];
+    let mut cells = Vec::new();
+    for system in systems {
+        cells.push(run_cell(system, &spec, cfg, None));
+        cells.push(run_cell(system, &spec, cfg, Some(aqe)));
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.system.label().to_string(),
+                if c.adaptive { "adaptive" } else { "static" }.to_string(),
+                secs(c.groupby_ns),
+                secs(c.total_ns),
+                format!("{}", c.aqe_tasks),
+                format!("{}", c.split_slices),
+                format!("{}", c.coalesced),
+                format!("{:.0}", c.sim_rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Adaptive execution — zipfian GroupBy, static vs AQE plans",
+        &[
+            "system",
+            "plan",
+            "groupby(s)",
+            "app total(s)",
+            "aqe tasks",
+            "slices",
+            "coalesced",
+            "sim ns/host ns",
+        ],
+        &rows,
+    );
+
+    // Contracts checked on every run.
+    for pair in cells.chunks(2) {
+        let (stat, adap) = (&pair[0], &pair[1]);
+        let label = stat.system.label();
+        assert_eq!(stat.aqe_tasks, 0, "{label}: AQE off must never plan");
+        assert!(adap.aqe_tasks > 0, "{label}: AQE on never engaged");
+        assert!(adap.split_slices > 0, "{label}: the hot bucket was never split");
+        assert_eq!(stat.groups, adap.groups, "{label}: adaptive changed the job's result");
+    }
+    let mpi_static = cells.iter().find(|c| c.system == System::Mpi4Spark && !c.adaptive).unwrap();
+    let mpi_adaptive = cells.iter().find(|c| c.system == System::Mpi4Spark && c.adaptive).unwrap();
+    assert!(
+        mpi_static.groupby_ns >= 2 * mpi_adaptive.groupby_ns,
+        "AQE must cut the zipfian GroupBy job's virtual time at least 2x on MPI \
+         (static {} vs adaptive {} — {})",
+        mpi_static.groupby_ns,
+        mpi_adaptive.groupby_ns,
+        ratio(mpi_static.groupby_ns, mpi_adaptive.groupby_ns),
+    );
+
+    if json {
+        write_json("BENCH_aqe.json", scale, &cfg, &cells);
+    }
+}

@@ -143,6 +143,35 @@ impl Default for SpeculationConf {
     }
 }
 
+/// Adaptive query execution policy (`spark.sql.adaptive.*` analogs), consumed
+/// by [`aqe::plan`](crate::aqe::plan) at the map→reduce stage boundary.
+///
+/// Off by default: with `enabled: false` the scheduler never consults the
+/// planner and every run is bit-identical to the static engine — the
+/// acceptance bar for this knob.
+#[derive(Debug, Clone, Copy)]
+pub struct AqeConf {
+    /// Master switch (`spark.sql.adaptive.enabled`).
+    pub enabled: bool,
+    /// Target post-shuffle task input in virtual bytes
+    /// (`spark.sql.adaptive.advisoryPartitionSizeInBytes`): runs of adjacent
+    /// buckets below it coalesce into one task, and a skewed bucket splits
+    /// into roughly this many bytes per slice.
+    pub target_bytes: u64,
+    /// A bucket is skewed when it exceeds `skew_factor ×` the median
+    /// non-empty bucket *and* `target_bytes`
+    /// (`spark.sql.adaptive.skewJoin.skewedPartitionFactor`).
+    pub skew_factor: f64,
+    /// Cap on map-range slices per split bucket.
+    pub max_slices: u32,
+}
+
+impl Default for AqeConf {
+    fn default() -> Self {
+        AqeConf { enabled: false, target_bytes: 4 * 1024 * 1024, skew_factor: 4.0, max_slices: 8 }
+    }
+}
+
 /// Engine configuration (the `spark.*` properties the paper tunes, §VII-C).
 #[derive(Debug, Clone, Copy)]
 pub struct SparkConf {
@@ -185,6 +214,8 @@ pub struct SparkConf {
     pub retry_seed: u64,
     /// Straggler-speculation policy.
     pub speculation: SpeculationConf,
+    /// Adaptive query execution policy.
+    pub aqe: AqeConf,
     /// Cap on attempts of one stage (first run + resubmissions after
     /// `FetchFailed`); exceeding it panics the job, mirroring Spark's
     /// `spark.stage.maxConsecutiveAttempts` abort.
@@ -216,6 +247,7 @@ impl Default for SparkConf {
             plane_failure_threshold: 3,
             retry_seed: 0,
             speculation: SpeculationConf::default(),
+            aqe: AqeConf::default(),
             max_stage_attempts: 4,
             trace_timeline: false,
             cost: CostModel::default(),

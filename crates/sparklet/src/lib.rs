@@ -25,6 +25,7 @@
 //! messages as typed values with declared wire sizes; data-plane payloads
 //! use real encoded bytes with independently scalable *virtual* sizes.
 
+pub mod aqe;
 pub mod broadcast;
 pub mod config;
 pub mod data;
@@ -39,7 +40,7 @@ pub mod task;
 pub mod transfer;
 
 pub use broadcast::Broadcast;
-pub use config::{CostModel, SparkConf, SpeculationConf};
+pub use config::{AqeConf, CostModel, SparkConf, SpeculationConf};
 pub use data::{Blob, Element};
 pub use deploy::{ClusterConfig, ExecutorLauncher, ProcessBuilderLauncher};
 pub use net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity, Role, VanillaBackend};

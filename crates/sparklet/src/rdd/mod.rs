@@ -63,12 +63,35 @@ pub trait ShuffleDepMeta: Send + Sync + 'static {
     fn upstream(&self) -> Vec<Arc<dyn ShuffleDepMeta>>;
 }
 
+/// Adaptive view of a result stage whose terminal node is a shuffle read:
+/// the operations an AQE plan's tasks need — fetch several complete buckets
+/// in one pass, fetch a map-range slice of one bucket, and merge slice
+/// partials back into one bucket's worth of records.
+pub trait AdaptiveResultOps<T: Element>: Send + Sync + 'static {
+    /// The shuffle the result stage reads.
+    fn dep(&self) -> Arc<dyn ShuffleDepMeta>;
+    /// Fetch `buckets` in one batched pass and post-process each; returns
+    /// one `(bucket, records)` entry per requested bucket, in request order.
+    fn compute_buckets(&self, ctx: &TaskContext, buckets: &[u32]) -> Vec<(u32, Vec<T>)>;
+    /// Fetch map partitions `map_lo..map_hi` of `bucket` and post-process
+    /// the slice — the salted pre-aggregate of two-phase aggregation.
+    fn compute_slice(&self, ctx: &TaskContext, bucket: u32, map_lo: u32, map_hi: u32) -> Vec<T>;
+    /// Combine slice partials (ascending map-range order) into the bucket's
+    /// final records — the cheap final merge of two-phase aggregation.
+    fn merge(&self, ctx: &TaskContext, partials: Vec<Vec<T>>) -> Vec<T>;
+}
+
 /// A job handed to the scheduler.
 pub struct JobSpec {
     /// Shuffle stages to ensure computed, parents before children.
     pub shuffle_stages: Vec<Arc<dyn ShuffleDepMeta>>,
     /// One result task per partition, in partition order.
     pub result_tasks: Vec<Arc<dyn TaskRunner>>,
+    /// Adaptive alternative to `result_tasks`, present when AQE is enabled
+    /// and the terminal node supports it; the scheduler may plan the reduce
+    /// side from map-output sizes instead of running `result_tasks`, and
+    /// must return the same per-partition results either way.
+    pub adaptive: Option<Arc<dyn crate::aqe::AdaptiveJobSpec>>,
     /// Human-readable description (`count`, `collect`, ...).
     pub action: String,
 }
@@ -132,6 +155,12 @@ pub trait RddOps<T: Element>: Send + Sync + 'static {
     fn compute(&self, part: usize, ctx: &TaskContext) -> Vec<T>;
     /// Direct shuffle dependencies.
     fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>>;
+    /// Adaptive view of this node, when it is a shuffle read that supports
+    /// plan-driven execution (coalesce/split). `None` (the default) keeps
+    /// the node on the static path.
+    fn adaptive(&self) -> Option<Arc<dyn AdaptiveResultOps<T>>> {
+        None
+    }
 }
 
 /// A resilient distributed dataset of `T` records.
@@ -285,9 +314,20 @@ impl<T: Element> Rdd<T> {
                     as Arc<dyn TaskRunner>
             })
             .collect();
+        // With AQE on and a shuffle read as the terminal node, also offer
+        // the scheduler a plan-driven alternative to the fixed task list.
+        let adaptive = if self.core.conf.aqe.enabled {
+            self.ops.adaptive().map(|ops| {
+                Arc::new(AdaptiveResultJob { ops, f: f.clone() })
+                    as Arc<dyn crate::aqe::AdaptiveJobSpec>
+            })
+        } else {
+            None
+        };
         let job = JobSpec {
             shuffle_stages: topo_shuffle_deps(self.ops.shuffle_deps()),
             result_tasks,
+            adaptive,
             action: action.to_string(),
         };
         self.core.run(job).into_iter().map(|r| r.downcast::<R>().expect("result type")).collect()
@@ -336,6 +376,7 @@ where
         partitioner: Arc<dyn Partitioner<K>>,
         map_side: Option<MapSideCombine<K, M>>,
         post: PostShuffle<K, M, U>,
+        merge: Option<MergeFn<U>>,
     ) -> Rdd<U> {
         let dep = Arc::new(ShuffleDep {
             shuffle_id: self.core.new_shuffle_id(),
@@ -346,7 +387,7 @@ where
         });
         Rdd {
             core: self.core.clone(),
-            ops: Arc::new(ShuffleReadRdd { id: self.core.new_rdd_id(), dep, post }),
+            ops: Arc::new(ShuffleReadRdd { id: self.core.new_rdd_id(), dep, post, merge }),
         }
     }
 
@@ -358,6 +399,22 @@ where
             Arc::new(HashPartitioner::new(parts)),
             None,
             Arc::new(|ctx, pairs| crate::shuffle::group_pairs(ctx, pairs)),
+            // Slice partials arrive pre-grouped per map range; concatenating
+            // each key's groups in slice (= map-range) order reproduces the
+            // static grouping exactly, at record-count cost only — the
+            // two-phase win that makes splitting a hot bucket pay off.
+            Some(Arc::new(|ctx: &TaskContext, partials: Vec<Vec<(K, Vec<V>)>>| {
+                let n: u64 = partials.iter().map(|p| p.len() as u64).sum();
+                ctx.charge(ctx.cost().group(n, 0));
+                let mut merged: std::collections::BTreeMap<K, Vec<V>> =
+                    std::collections::BTreeMap::new();
+                for partial in partials {
+                    for (k, mut vs) in partial {
+                        merged.entry(k).or_default().append(&mut vs);
+                    }
+                }
+                merged.into_iter().collect()
+            })),
         )
     }
 
@@ -381,6 +438,7 @@ where
                 .collect()
         });
         let f_red = f.clone();
+        let f_merge = f.clone();
         self.shuffle_to::<V, (K, V)>(
             self.ops.clone(),
             Arc::new(HashPartitioner::new(parts)),
@@ -395,6 +453,28 @@ where
                     })
                     .collect()
             }),
+            // Slice partials are already reduced per map range; the final
+            // merge folds at most one value per key per slice.
+            Some(Arc::new(move |ctx: &TaskContext, partials: Vec<Vec<(K, V)>>| {
+                let n: u64 = partials.iter().map(|p| p.len() as u64).sum();
+                ctx.charge(ctx.cost().group(n, 0));
+                let mut merged: std::collections::BTreeMap<K, V> =
+                    std::collections::BTreeMap::new();
+                for partial in partials {
+                    for (k, v) in partial {
+                        match merged.entry(k) {
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                e.insert(v);
+                            }
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
+                                let prev = e.get().clone();
+                                e.insert(f_merge(prev, v));
+                            }
+                        }
+                    }
+                }
+                merged.into_iter().collect()
+            })),
         )
     }
 
@@ -406,6 +486,13 @@ where
             partitioner,
             None,
             Arc::new(|_ctx, pairs| pairs),
+            // Records pass through unchanged; merging is concatenation in
+            // map-range order.
+            Some(Arc::new(|ctx: &TaskContext, partials: Vec<Vec<(K, V)>>| {
+                let n: u64 = partials.iter().map(|p| p.len() as u64).sum();
+                ctx.charge(ctx.cost().map(n, 0));
+                partials.into_iter().flatten().collect()
+            })),
         )
     }
 
@@ -481,6 +568,16 @@ where
                 pairs.sort_by(|a, b| a.0.cmp(&b.0));
                 pairs
             }),
+            // Slice partials arrive sorted; a stable merge-by-concatenation
+            // plus re-sort costs record-count terms only (no byte charge —
+            // the heavy byte-proportional sort already ran in the slices).
+            Some(Arc::new(|ctx: &TaskContext, partials: Vec<Vec<(K, V)>>| {
+                let n: u64 = partials.iter().map(|p| p.len() as u64).sum();
+                ctx.charge(ctx.cost().sort(n, 0));
+                let mut merged: Vec<(K, V)> = partials.into_iter().flatten().collect();
+                merged.sort_by(|a, b| a.0.cmp(&b.0));
+                merged
+            })),
         )
     }
 }

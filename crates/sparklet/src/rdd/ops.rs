@@ -3,10 +3,12 @@
 use std::hash::Hash;
 use std::sync::Arc;
 
+use crate::aqe::{AdaptiveJobSpec, BucketResults, PlanTask, SlicePartial};
 use crate::data::Element;
 use crate::rdd::partitioner::Partitioner;
-use crate::rdd::{RddOps, ShuffleDepMeta, TaskOutput, TaskRunner};
-use crate::shuffle::{read_shuffle, write_shuffle};
+use crate::rdd::{AdaptiveResultOps, RddOps, ShuffleDepMeta, TaskOutput, TaskRunner};
+use crate::rpc::AnyMsg;
+use crate::shuffle::{read_shuffle, read_shuffle_buckets, write_shuffle};
 use crate::storage::{BlockId, StoredBlock};
 use crate::task::TaskContext;
 
@@ -15,6 +17,11 @@ pub type MapSideCombine<K, M> = Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<(K,
 
 /// Reduce-side post-processing (grouping, reducing, sorting, identity).
 pub type PostShuffle<K, M, U> = Arc<dyn Fn(&TaskContext, Vec<(K, M)>) -> Vec<U> + Send + Sync>;
+
+/// Combine per-map-range slice partials (each already post-processed) into
+/// one bucket's final records — the cheap second phase of AQE's two-phase
+/// aggregation. `None` keeps the operator on the static path under AQE.
+pub type MergeFn<U> = Arc<dyn Fn(&TaskContext, Vec<Vec<U>>) -> Vec<U> + Send + Sync>;
 
 // --- sources ---------------------------------------------------------------
 
@@ -276,6 +283,27 @@ where
     pub dep: Arc<ShuffleDep<K, M>>,
     /// Reduce-side processing.
     pub post: PostShuffle<K, M, U>,
+    /// Slice-partial merge for adaptive execution; `None` opts the operator
+    /// out of AQE (e.g. cogroup inputs).
+    pub merge: Option<MergeFn<U>>,
+}
+
+impl<K, M, U> ShuffleReadRdd<K, M, U>
+where
+    K: Element + Hash + Eq + Ord,
+    M: Element,
+    U: Element,
+{
+    /// Cheap `Arc` of self by cloning fields (same pattern as `self_arc`:
+    /// trait methods only see `&self`).
+    fn arc_clone(&self) -> Arc<Self> {
+        Arc::new(ShuffleReadRdd {
+            id: self.id,
+            dep: self.dep.clone(),
+            post: self.post.clone(),
+            merge: self.merge.clone(),
+        })
+    }
 }
 
 impl<K, M, U> RddOps<U> for ShuffleReadRdd<K, M, U>
@@ -296,6 +324,38 @@ where
     }
     fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepMeta>> {
         vec![self.dep.clone()]
+    }
+    fn adaptive(&self) -> Option<Arc<dyn AdaptiveResultOps<U>>> {
+        self.merge.is_some().then(|| self.arc_clone() as Arc<dyn AdaptiveResultOps<U>>)
+    }
+}
+
+impl<K, M, U> AdaptiveResultOps<U> for ShuffleReadRdd<K, M, U>
+where
+    K: Element + Hash + Eq + Ord,
+    M: Element,
+    U: Element,
+{
+    fn dep(&self) -> Arc<dyn ShuffleDepMeta> {
+        self.dep.clone() as Arc<dyn ShuffleDepMeta>
+    }
+    fn compute_buckets(&self, ctx: &TaskContext, buckets: &[u32]) -> Vec<(u32, Vec<U>)> {
+        read_shuffle_buckets::<(K, M)>(ctx, self.dep.shuffle_id, buckets, None)
+            .into_iter()
+            .map(|(b, pairs)| (b, (self.post)(ctx, pairs)))
+            .collect()
+    }
+    fn compute_slice(&self, ctx: &TaskContext, bucket: u32, map_lo: u32, map_hi: u32) -> Vec<U> {
+        let mut slices = read_shuffle_buckets::<(K, M)>(
+            ctx,
+            self.dep.shuffle_id,
+            &[bucket],
+            Some((map_lo, map_hi)),
+        );
+        (self.post)(ctx, slices.pop().expect("one bucket requested").1)
+    }
+    fn merge(&self, ctx: &TaskContext, partials: Vec<Vec<U>>) -> Vec<U> {
+        (self.merge.as_ref().expect("adaptive ops require a merge"))(ctx, partials)
     }
 }
 
@@ -362,5 +422,106 @@ impl<T: Element, R: Send + Sync + 'static> TaskRunner for ResultTask<T, R> {
         let data = self.ops.compute(self.part, ctx);
         ctx.metrics.counter(obs::keys::TASK_RECORDS_OUT).add(data.len() as u64);
         TaskOutput::Result(Arc::new((self.f)(ctx, data)))
+    }
+}
+
+// --- adaptive result tasks --------------------------------------------------
+
+/// The typed end of [`AdaptiveJobSpec`]: holds the adaptive shuffle-read ops
+/// and the action closure, and stamps them into plan-task runners for the
+/// scheduler's type-erased side.
+pub struct AdaptiveResultJob<T: Element, R: Send + Sync + 'static> {
+    /// Adaptive view of the terminal shuffle read.
+    pub ops: Arc<dyn AdaptiveResultOps<T>>,
+    /// Per-partition action.
+    pub f: Arc<dyn Fn(&TaskContext, Vec<T>) -> R + Send + Sync>,
+}
+
+impl<T: Element, R: Send + Sync + 'static> AdaptiveJobSpec for AdaptiveResultJob<T, R> {
+    fn dep(&self) -> Arc<dyn ShuffleDepMeta> {
+        self.ops.dep()
+    }
+    fn make_task(&self, task: &PlanTask) -> Arc<dyn TaskRunner> {
+        match task {
+            PlanTask::Buckets { buckets } => Arc::new(AqeBucketsTask {
+                ops: self.ops.clone(),
+                f: self.f.clone(),
+                buckets: buckets.clone(),
+            }),
+            PlanTask::Slice { bucket, map_lo, map_hi } => Arc::new(AqeSliceTask {
+                ops: self.ops.clone(),
+                bucket: *bucket,
+                map_lo: *map_lo,
+                map_hi: *map_hi,
+            }),
+        }
+    }
+    fn make_merge_task(&self, bucket: u32, partials: Vec<AnyMsg>) -> Arc<dyn TaskRunner> {
+        Arc::new(AqeMergeTask { ops: self.ops.clone(), f: self.f.clone(), bucket, partials })
+    }
+}
+
+/// Adaptive task over complete buckets: one fetch pass, then post + action
+/// per bucket (preserving the job's per-partition result arity).
+struct AqeBucketsTask<T: Element, R: Send + Sync + 'static> {
+    ops: Arc<dyn AdaptiveResultOps<T>>,
+    f: Arc<dyn Fn(&TaskContext, Vec<T>) -> R + Send + Sync>,
+    buckets: Vec<u32>,
+}
+
+impl<T: Element, R: Send + Sync + 'static> TaskRunner for AqeBucketsTask<T, R> {
+    fn run(&self, ctx: &TaskContext) -> TaskOutput {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (bucket, data) in self.ops.compute_buckets(ctx, &self.buckets) {
+            ctx.metrics.counter(obs::keys::TASK_RECORDS_OUT).add(data.len() as u64);
+            out.push((bucket, Arc::new((self.f)(ctx, data)) as AnyMsg));
+        }
+        TaskOutput::Result(Arc::new(BucketResults(out)))
+    }
+}
+
+/// Adaptive task over one map-range slice of a split bucket: fetch + post
+/// only (the salted pre-aggregate); the action runs in the merge task.
+struct AqeSliceTask<T: Element> {
+    ops: Arc<dyn AdaptiveResultOps<T>>,
+    bucket: u32,
+    map_lo: u32,
+    map_hi: u32,
+}
+
+impl<T: Element> TaskRunner for AqeSliceTask<T> {
+    fn run(&self, ctx: &TaskContext) -> TaskOutput {
+        let data = self.ops.compute_slice(ctx, self.bucket, self.map_lo, self.map_hi);
+        ctx.metrics.counter(obs::keys::TASK_RECORDS_OUT).add(data.len() as u64);
+        TaskOutput::Result(Arc::new(SlicePartial {
+            bucket: self.bucket,
+            map_lo: self.map_lo,
+            data: Arc::new(data) as AnyMsg,
+        }))
+    }
+}
+
+/// Final merge of one split bucket's slice partials, then the action.
+struct AqeMergeTask<T: Element, R: Send + Sync + 'static> {
+    ops: Arc<dyn AdaptiveResultOps<T>>,
+    f: Arc<dyn Fn(&TaskContext, Vec<T>) -> R + Send + Sync>,
+    bucket: u32,
+    /// Type-erased `Vec<T>` partials in ascending map-range order.
+    partials: Vec<AnyMsg>,
+}
+
+impl<T: Element, R: Send + Sync + 'static> TaskRunner for AqeMergeTask<T, R> {
+    fn run(&self, ctx: &TaskContext) -> TaskOutput {
+        let partials: Vec<Vec<T>> = self
+            .partials
+            .iter()
+            .map(|p| p.clone().downcast::<Vec<T>>().expect("slice partial type").as_ref().clone())
+            .collect();
+        let data = self.ops.merge(ctx, partials);
+        ctx.metrics.counter(obs::keys::TASK_RECORDS_OUT).add(data.len() as u64);
+        TaskOutput::Result(Arc::new(BucketResults(vec![(
+            self.bucket,
+            Arc::new((self.f)(ctx, data)) as AnyMsg,
+        )])))
     }
 }

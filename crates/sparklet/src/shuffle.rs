@@ -160,6 +160,28 @@ impl MapOutputTrackerMaster {
         slots.iter().enumerate().filter_map(|(i, s)| s.is_none().then_some(i as u32)).collect()
     }
 
+    /// Per-map size rows for a *complete* shuffle — the AQE planner's input
+    /// — plus the epoch they were read under. The epoch is re-checked after
+    /// the read: if a concurrent executor removal bumped it mid-read, the
+    /// snapshot is discarded and re-taken, so a returned matrix is always
+    /// internally consistent with its epoch.
+    pub fn size_matrix(&self, shuffle_id: u32) -> (u64, Vec<Arc<Vec<u64>>>) {
+        loop {
+            let epoch = self.epoch();
+            let rows: Vec<Arc<Vec<u64>>> = {
+                let o = self.outputs.lock();
+                let slots = o.get(&shuffle_id).expect("shuffle registered");
+                slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("shuffle complete before planning").sizes.clone())
+                    .collect()
+            };
+            if self.epoch() == epoch {
+                return (epoch, rows);
+            }
+        }
+    }
+
     fn statuses(&self, shuffle_id: u32) -> Arc<Vec<MapStatus>> {
         let o = self.outputs.lock();
         let slots = o.get(&shuffle_id).expect("shuffle registered");
@@ -336,6 +358,25 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
     let _span = obs.is_traced().then(|| {
         obs.span("spark.shuffle.fetch", obs::kv! {"shuffle" => shuffle_id, "reduce" => reduce_id})
     });
+    let mut buckets = read_shuffle_buckets(ctx, shuffle_id, &[reduce_id], None);
+    buckets.pop().expect("one bucket requested").1
+}
+
+/// Generalized shuffle read behind both the static and the adaptive paths:
+/// fetch any set of reduce buckets, optionally restricted to map partitions
+/// `map_lo..map_hi` (an AQE slice of one split bucket), in *one* batched
+/// fetch pass. Returns one `(reduce_id, records)` entry per requested bucket
+/// in request order (empty buckets included).
+///
+/// With a single bucket and no map range this is byte-for-byte the classic
+/// `read_shuffle`: same status walk, same request packing, same charge
+/// order, same metrics — the static path merely wraps it.
+pub fn read_shuffle_buckets<T: Element>(
+    ctx: &TaskContext,
+    shuffle_id: u32,
+    reduce_ids: &[u32],
+    map_range: Option<(u32, u32)>,
+) -> Vec<(u32, Vec<T>)> {
     let statuses = ctx.services.map_outputs.get(shuffle_id);
     let conf = &ctx.services.conf;
     let cost = ctx.cost();
@@ -346,19 +387,26 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
     let mut local: Vec<BlockId> = Vec::new();
     let mut remote: BTreeMap<usize, (PortAddr, Vec<(BlockId, u64)>)> = BTreeMap::new();
     for st in statuses.iter() {
-        let size = st.sizes[reduce_id as usize];
-        if st.records[reduce_id as usize] == 0 && size == 0 {
-            continue; // empty bucket: Spark skips zero-size blocks
+        if let Some((lo, hi)) = map_range {
+            if st.map_id < lo || st.map_id >= hi {
+                continue; // outside this slice's map range
+            }
         }
-        let id = BlockId::Shuffle { shuffle_id, map_id: st.map_id, reduce_id };
-        if st.exec_id == my_exec {
-            local.push(id);
-        } else {
-            remote
-                .entry(st.exec_id)
-                .or_insert_with(|| (st.shuffle_addr, Vec::new()))
-                .1
-                .push((id, size));
+        for &reduce_id in reduce_ids {
+            let size = st.sizes[reduce_id as usize];
+            if st.records[reduce_id as usize] == 0 && size == 0 {
+                continue; // empty bucket: Spark skips zero-size blocks
+            }
+            let id = BlockId::Shuffle { shuffle_id, map_id: st.map_id, reduce_id };
+            if st.exec_id == my_exec {
+                local.push(id);
+            } else {
+                remote
+                    .entry(st.exec_id)
+                    .or_insert_with(|| (st.shuffle_addr, Vec::new()))
+                    .1
+                    .push((id, size));
+            }
         }
     }
 
@@ -392,7 +440,16 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
     let exec_of: BTreeMap<BlockId, usize> =
         requests.iter().flat_map(|r| r.blocks.iter().map(move |b| (*b, r.exec_id))).collect();
 
-    let mut out: Vec<T> = Vec::new();
+    // One output vector per requested bucket; decoded blocks are routed by
+    // the `reduce_id` their `BlockId` carries.
+    let mut outs: Vec<(u32, Vec<T>)> = reduce_ids.iter().map(|r| (*r, Vec::new())).collect();
+    let slot: BTreeMap<u32, usize> = reduce_ids.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let bucket_of = |id: &BlockId| -> usize {
+        match id {
+            BlockId::Shuffle { reduce_id, .. } => slot[reduce_id],
+            BlockId::Rdd { .. } => unreachable!("shuffle fetch returned an RDD block"),
+        }
+    };
     let mut fetch_wait = 0u64;
     let mut remote_bytes = 0u64;
     let mut local_bytes = 0u64;
@@ -425,7 +482,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
         let b = bm.get(id).expect("local shuffle block present");
         local_bytes += b.virtual_len;
         ctx.charge(cost.deser(b.records, b.virtual_len));
-        out.extend(decode_batch::<T>(&b.data));
+        outs[bucket_of(&id)].1.extend(decode_batch::<T>(&b.data));
     }
 
     while open_reqs > 0 {
@@ -451,11 +508,11 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
             open_reqs -= 1;
         }
         let mut freed = 0u64;
-        for b in blocks {
+        for (id, b) in res.blocks.iter().zip(blocks) {
             freed += b.virtual_len;
             remote_bytes += b.virtual_len;
             ctx.charge(cost.deser(b.records, b.virtual_len));
-            out.extend(decode_batch::<T>(&b.data));
+            outs[bucket_of(id)].1.extend(decode_batch::<T>(&b.data));
         }
         in_flight_bytes = in_flight_bytes.saturating_sub(freed);
         while next_req < requests.len()
@@ -473,7 +530,7 @@ pub fn read_shuffle<T: Element>(ctx: &TaskContext, shuffle_id: u32, reduce_id: u
     ctx.metrics.counter(obs::keys::TASK_FETCH_WAIT_NS).add(fetch_wait);
     ctx.metrics.counter(obs::keys::TASK_REMOTE_BYTES).add(remote_bytes);
     ctx.metrics.counter(obs::keys::TASK_LOCAL_BYTES).add(local_bytes);
-    out
+    outs
 }
 
 /// Group `(K, V)` records into `(K, Vec<V>)` with hash-aggregation costs

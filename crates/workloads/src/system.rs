@@ -99,6 +99,21 @@ impl<R> RunOutcome<R> {
     pub fn speculative_tasks(&self) -> u64 {
         self.metrics.counter(obs::keys::SPARK_SPECULATIVE_TASKS)
     }
+
+    /// Tasks AQE planned for adaptive result stages (0 with AQE off).
+    pub fn aqe_tasks(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_AQE_TASKS)
+    }
+
+    /// Map-range slice tasks AQE produced by splitting skewed buckets.
+    pub fn aqe_split_slices(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_AQE_SPLIT_SLICES)
+    }
+
+    /// AQE tasks that coalesced more than one reduce bucket.
+    pub fn aqe_coalesced_tasks(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_AQE_COALESCED_TASKS)
+    }
 }
 
 impl System {

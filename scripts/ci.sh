@@ -23,6 +23,13 @@ echo "==> chaos matrix (fixed seeds)"
 echo "==> recovery matrix (stage resubmission + speculation)"
 "$CARGO" test -q -p sparklet --test recovery_chaos_tests "$@"
 
+# AQE matrix: adaptive plans (coalesce / split / two-phase aggregation)
+# must be oracle-equivalent to static execution on all four backends,
+# including under a crash-during-fetch replan, and the planner proptests
+# must hold.
+echo "==> AQE matrix (adaptive vs static oracle + planner proptests)"
+"$CARGO" test -q -p sparklet --test aqe_tests "$@"
+
 # Randomized-seed smoke: every run exercises a fresh fault schedule. The
 # seed is printed up front — replaying a failure is
 # `CHAOS_SEED=<seed> scripts/ci.sh` (the whole run is a pure function of
@@ -77,6 +84,13 @@ echo "==> fan-in smoke (body-completion ablation, small scale)"
 # measurably cuts the slowdown cell's virtual job time.
 echo "==> recovery smoke (crash + slowdown cells, small scale)"
 "$CARGO" run -q --release -p mpi4spark-bench --bin bench_recovery "$@" -- --scale small
+
+# AQE smoke: the zipfian-GroupBy skew bench at small scale. The binary
+# asserts AQE-off cells never plan, adaptive cells split the hot bucket,
+# results match the static oracle on every backend, and the MPI cell's
+# GroupBy job improves at least 2x.
+echo "==> AQE smoke (zipfian GroupBy, static vs adaptive, small scale)"
+"$CARGO" run -q --release -p mpi4spark-bench --bin bench_aqe "$@" -- --scale small
 
 echo "==> detlint (determinism rules D1-D6)"
 "$CARGO" run -q --release -p detlint
