@@ -1,0 +1,59 @@
+//! detlint throughput bench: the two-pass workspace analysis (symbol index +
+//! D/L/P rules) run against this repository itself.
+//!
+//! The warmup pass doubles as a correctness gate — the tree must be clean or
+//! the bench exits nonzero, so a regression in either the code or the
+//! analyzer shows up here as well as in CI.
+//!
+//! Run: `cargo run --release -p mpi4spark-bench --bin bench_detlint`
+//! JSON artifact: `BENCH_detlint.json` (index sizes and host wall-clock per
+//! full analysis; median + min over the timed runs).
+
+use std::path::Path;
+
+const RUNS: usize = 7;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+
+    // Warmup pass; also the gate that the tree is clean.
+    let first = detlint::analyze_workspace(root).expect("workspace analysis");
+    if !first.diagnostics.is_empty() {
+        for d in &first.diagnostics {
+            eprintln!("{}", d.render());
+        }
+        eprintln!("bench_detlint: the workspace must be clean to benchmark");
+        std::process::exit(1);
+    }
+
+    let mut wall_us: Vec<u128> = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        // detlint: allow(D1, reason = "host wall-clock times the analyzer itself, not simulated events")
+        let t = std::time::Instant::now();
+        let a = detlint::analyze_workspace(root).expect("workspace analysis");
+        wall_us.push(t.elapsed().as_micros());
+        assert_eq!(a.stats.files, first.stats.files, "analysis must be stable across runs");
+        assert!(a.diagnostics.is_empty(), "analysis must stay clean across runs");
+    }
+    wall_us.sort_unstable();
+    let ms = |us: u128| us as f64 / 1000.0;
+    let (median, min) = (ms(wall_us[RUNS / 2]), ms(wall_us[0]));
+
+    let s = &first.stats;
+    println!(
+        "bench_detlint: {} files, {} fns, {} call sites, {} lock sites, {} rmpi sites",
+        s.files, s.fns, s.call_sites, s.lock_sites, s.rmpi_sites
+    );
+    println!("bench_detlint: full analysis median {median:.1} ms, min {min:.1} ms ({RUNS} runs)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_detlint\",\n  \"target\": \"whole workspace\",\n  \
+         \"runs\": {RUNS},\n  \"files\": {},\n  \"fns\": {},\n  \"call_sites\": {},\n  \
+         \"lock_sites\": {},\n  \"rmpi_sites\": {},\n  \"diagnostics\": 0,\n  \
+         \"wall_ms_median\": {median:.3},\n  \"wall_ms_min\": {min:.3}\n}}\n",
+        s.files, s.fns, s.call_sites, s.lock_sites, s.rmpi_sites
+    );
+    let path = root.join("BENCH_detlint.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}

@@ -38,9 +38,35 @@
 //! brace depth, `#[cfg(test)]` regions, guard bindings, and hash-collection
 //! idents, which is enough to make the five rules precise on real-world
 //! rustfmt'd code while staying dependency-free.
+//!
+//! On top of the per-file D-rules, [`analyze_files`] runs a two-pass
+//! *workspace* analysis: pass 1 ([`index`]) builds a symbol index (fn
+//! definitions, call edges, `named()` lock-acquisition sites, rmpi
+//! send/recv/irecv sites with their tag constants); pass 2 runs the
+//! cross-file rule families over it:
+//!
+//! * **L1** — static lock-order graph: intra-procedural acquisition
+//!   sequences, propagated one level through the call graph, reported as
+//!   AB/BA inversions and longer cycles. Mirrors simt's dynamic
+//!   `inversion_log`; the parity tests assert dynamic ⊆ static.
+//! * **P1** — request leak: an `irecv` Request must reach
+//!   `wait`/`wait_timeout`/`test`/`cancel`/`waitall`/`waitany`/`testsome`
+//!   or escape the function.
+//! * **P2** — no untimed `recv` on message paths covered by `RetryPolicy`
+//!   (the retry fires after a timeout; an unbounded receive strands it).
+//! * **P3** — send/recv tag-constant consistency across crates: a tag
+//!   constant sent but never received (or vice versa) can never match.
+//!
+//! Waivers that stop suppressing anything are themselves reported (rule
+//! `stale`), so the allow inventory cannot rot.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+
+pub(crate) mod index;
+pub(crate) mod lockorder;
+pub(crate) mod protocol;
+pub mod sarif;
 
 /// One finding, pointing at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -49,7 +75,8 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id: `D1`..`D6`, or `allow` for a malformed allow directive.
+    /// Rule id: `D1`..`D6`, `L1`, `P1`..`P3`, `allow` for a malformed allow
+    /// directive, or `stale` for a waiver that no longer suppresses anything.
     pub rule: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
@@ -86,18 +113,18 @@ const SIMT_INTERNALS: &[&str] = &["src/engine.rs", "src/gate.rs"];
 // character count per line, and collect comment text for allow directives.
 // ---------------------------------------------------------------------------
 
-struct Masked {
+pub(crate) struct Masked {
     /// Source with comments and string/char literal *contents* replaced by
     /// spaces. Newlines are preserved, so offsets map to the original lines.
-    code: Vec<char>,
+    pub(crate) code: Vec<char>,
     /// `(1-based line, comment text)` for every comment.
-    comments: Vec<(usize, String)>,
+    pub(crate) comments: Vec<(usize, String)>,
     /// Char index of the start of each line (line 1 at index 0).
-    line_starts: Vec<usize>,
+    pub(crate) line_starts: Vec<usize>,
 }
 
 impl Masked {
-    fn line_of(&self, pos: usize) -> usize {
+    pub(crate) fn line_of(&self, pos: usize) -> usize {
         match self.line_starts.binary_search(&pos) {
             Ok(i) => i + 1,
             Err(i) => i,
@@ -105,11 +132,11 @@ impl Masked {
     }
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-fn mask(src: &str) -> Masked {
+pub(crate) fn mask(src: &str) -> Masked {
     let chars: Vec<char> = src.chars().collect();
     let mut code: Vec<char> = Vec::with_capacity(chars.len());
     let mut comments: Vec<(usize, String)> = Vec::new();
@@ -305,7 +332,7 @@ fn mask(src: &str) -> Masked {
 // test modules may block, spawn, and shuffle however they like.
 // ---------------------------------------------------------------------------
 
-fn blank_test_regions(m: &mut Masked) {
+pub(crate) fn blank_test_regions(m: &mut Masked) {
     let text: String = m.code.iter().collect();
     let mut blank_ranges: Vec<(usize, usize)> = Vec::new();
     for attr in ["#[cfg(test)]", "#[test]"] {
@@ -352,7 +379,7 @@ fn blank_test_regions(m: &mut Masked) {
     }
 }
 
-fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+pub(crate) fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
     // `from` is a char index; the masked text is ASCII after masking (all
     // non-ASCII lived in strings/comments), so bytes == chars here.
     haystack.get(from..).and_then(|s| s.find(needle)).map(|p| p + from)
@@ -362,17 +389,41 @@ fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
 // Allow directives.
 // ---------------------------------------------------------------------------
 
-struct Allows {
-    /// Line -> rules waived on that line.
-    by_line: BTreeMap<usize, BTreeSet<String>>,
-    /// Malformed directives (missing reason, unparsable).
-    errors: Vec<(usize, String)>,
+/// One parsed `// detlint: allow(R1, R2, reason = "...")` directive.
+#[derive(Debug, Clone)]
+pub(crate) struct Directive {
+    /// Line the comment sits on.
+    pub(crate) line: usize,
+    /// Line the waiver covers (== `line` for a trailing comment, the next
+    /// code line for a standalone one).
+    pub(crate) target: usize,
+    /// Rules waived by this directive.
+    pub(crate) rules: Vec<String>,
 }
 
-fn parse_allows(m: &Masked) -> Allows {
+pub(crate) struct Allows {
+    /// Line -> rules waived on that line.
+    pub(crate) by_line: BTreeMap<usize, BTreeSet<String>>,
+    /// Well-formed directives, in source order (for stale-waiver tracking).
+    pub(crate) directives: Vec<Directive>,
+    /// Malformed directives (missing reason, unparsable).
+    pub(crate) errors: Vec<(usize, String)>,
+}
+
+pub(crate) fn parse_allows(m: &Masked) -> Allows {
     let mut by_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    let mut directives: Vec<Directive> = Vec::new();
     let mut errors = Vec::new();
     for (line, text) in &m.comments {
+        // Doc comments are documentation, not directives — the rule docs
+        // themselves quote example waivers.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
         let Some(pos) = text.find("detlint:") else { continue };
         let rest = text[pos + "detlint:".len()..].trim_start();
         let Some(args) = rest.strip_prefix("allow(") else {
@@ -384,21 +435,47 @@ fn parse_allows(m: &Masked) -> Allows {
             continue;
         };
         let body = &args[..close];
-        let mut parts = body.splitn(2, ',');
-        let rule = parts.next().unwrap_or("").trim().to_string();
-        let reason = parts.next().map(str::trim).unwrap_or("");
+        // Comma-separated rule ids up to the `reason = "..."` clause; the
+        // reason text itself may contain commas.
+        let mut rules: Vec<String> = Vec::new();
+        let mut reason: Option<&str> = None;
+        let mut rest_body = body;
+        loop {
+            let (tok, remainder) = match rest_body.find(',') {
+                Some(p) => (&rest_body[..p], Some(&rest_body[p + 1..])),
+                None => (rest_body, None),
+            };
+            let t = tok.trim();
+            if t.strip_prefix("reason")
+                .is_some_and(|r| r.trim_start().starts_with('=') || r.trim_start().is_empty())
+            {
+                reason = Some(rest_body.trim());
+                break;
+            }
+            rules.push(t.to_string());
+            match remainder {
+                Some(r) => rest_body = r,
+                None => break,
+            }
+        }
         let reason_ok = reason
-            .strip_prefix("reason")
+            .and_then(|r| r.strip_prefix("reason"))
             .map(|r| r.trim_start().strip_prefix('=').map(str::trim).unwrap_or(""))
             .map(|r| r.len() > 2 && r.starts_with('"'))
             .unwrap_or(false);
-        if rule.is_empty() || !reason_ok {
+        let rules_ok = !rules.is_empty()
+            && rules.iter().all(|r| !r.is_empty() && r.chars().all(is_ident_char));
+        if !rules_ok || !reason_ok {
+            let shown = if rules.is_empty() || rules[0].is_empty() {
+                "D?".to_string()
+            } else {
+                rules.join(", ")
+            };
             errors.push((
                 *line,
                 format!(
                     "allow directive must name a rule and a reason: \
-                     `// detlint: allow({}, reason = \"...\")`",
-                    if rule.is_empty() { "D?" } else { &rule }
+                     `// detlint: allow({shown}, reason = \"...\")`"
                 ),
             ));
             continue;
@@ -427,10 +504,13 @@ fn parse_allows(m: &Masked) -> Allows {
             }
             target = l;
         }
-        by_line.entry(target).or_default().insert(rule.clone());
-        by_line.entry(*line).or_default().insert(rule);
+        for rule in &rules {
+            by_line.entry(target).or_default().insert(rule.clone());
+            by_line.entry(*line).or_default().insert(rule.clone());
+        }
+        directives.push(Directive { line: *line, target, rules });
     }
-    Allows { by_line, errors }
+    Allows { by_line, directives, errors }
 }
 
 // ---------------------------------------------------------------------------
@@ -464,39 +544,78 @@ impl RuleCtx<'_> {
     }
 }
 
-/// Scan one file's source. `display_path` is used verbatim in diagnostics.
-pub fn scan_source(display_path: &str, origin: &FileOrigin, src: &str) -> Vec<Diagnostic> {
+/// One file's masked, test-blanked, allow-parsed source — shared between the
+/// per-file D-rules and the workspace index (pass 1).
+pub(crate) struct FilePrep {
+    pub(crate) display: String,
+    pub(crate) origin: FileOrigin,
+    /// Original source chars; offsets line up 1:1 with `masked.code`, so
+    /// string-literal contents (lock labels) can be read back at positions
+    /// found in the masked text.
+    pub(crate) raw: Vec<char>,
+    pub(crate) masked: Masked,
+    /// `masked.code` collected to a `String` (ASCII after masking).
+    pub(crate) text: String,
+    pub(crate) allows: Allows,
+}
+
+pub(crate) fn prep_file(display_path: &str, origin: &FileOrigin, src: &str) -> FilePrep {
     let mut m = mask(src);
     blank_test_regions(&mut m);
     let allows = parse_allows(&m);
-    let ctx = RuleCtx { origin, display_path };
     let text: String = m.code.iter().collect();
+    FilePrep {
+        display: display_path.to_string(),
+        origin: origin.clone(),
+        raw: src.chars().collect(),
+        masked: m,
+        text,
+        allows,
+    }
+}
 
+/// Run the per-file D-rules (plus malformed-directive findings) over a prep.
+pub(crate) fn d_rules(prep: &FilePrep) -> BTreeSet<Diagnostic> {
+    let ctx = RuleCtx { origin: &prep.origin, display_path: &prep.display };
     let mut found: BTreeSet<Diagnostic> = BTreeSet::new();
-    for (line, msg) in &allows.errors {
+    for (line, msg) in &prep.allows.errors {
         found.insert(Diagnostic {
-            path: display_path.to_string(),
+            path: prep.display.clone(),
             line: *line,
             rule: "allow".to_string(),
             message: msg.clone(),
         });
     }
+    rule_d1(&ctx, &prep.masked, &prep.text, &mut found);
+    rule_d2(&ctx, &prep.masked, &prep.text, &mut found);
+    rule_d3(&ctx, &prep.masked, &prep.text, &mut found);
+    rule_d4(&ctx, &prep.masked, &prep.text, &mut found);
+    rule_d5(&ctx, &prep.masked, &prep.text, &mut found);
+    rule_d6(&ctx, &prep.masked, &prep.text, &mut found);
+    found
+}
 
-    rule_d1(&ctx, &m, &text, &mut found);
-    rule_d2(&ctx, &m, &text, &mut found);
-    rule_d3(&ctx, &m, &text, &mut found);
-    rule_d4(&ctx, &m, &text, &mut found);
-    rule_d5(&ctx, &m, &text, &mut found);
-    rule_d6(&ctx, &m, &text, &mut found);
-
-    // Apply allows and collapse to one finding per (line, rule) — overlapping
-    // needles (e.g. `std::thread::spawn` and `thread::spawn`) otherwise
-    // double-report.
+/// Apply the file's allow directives to `found`, collapsing to one finding
+/// per `(line, rule)` — overlapping needles (e.g. `std::thread::spawn` and
+/// `thread::spawn`) otherwise double-report. Every suppression is recorded
+/// in `used` as `(directive index, rule)` for stale-waiver detection.
+fn apply_allows_one(
+    prep: &FilePrep,
+    found: BTreeSet<Diagnostic>,
+    used: &mut BTreeSet<(usize, String)>,
+) -> Vec<Diagnostic> {
+    let allows = &prep.allows;
     let mut by_key: BTreeMap<(usize, String), Diagnostic> = BTreeMap::new();
     for d in found {
-        let allowed = d.rule != "allow"
-            && allows.by_line.get(&d.line).map(|rs| rs.contains(&d.rule)).unwrap_or(false);
+        let waivable = d.rule != "allow" && d.rule != "stale";
+        let allowed =
+            waivable && allows.by_line.get(&d.line).map(|rs| rs.contains(&d.rule)).unwrap_or(false);
         if allowed {
+            for (di, dir) in allows.directives.iter().enumerate() {
+                if (dir.line == d.line || dir.target == d.line) && dir.rules.contains(&d.rule) {
+                    used.insert((di, d.rule.clone()));
+                }
+            }
             continue;
         }
         by_key.entry((d.line, d.rule.clone())).or_insert(d);
@@ -504,11 +623,113 @@ pub fn scan_source(display_path: &str, origin: &FileOrigin, src: &str) -> Vec<Di
     by_key.into_values().collect()
 }
 
+/// Scan one file's source with the per-file D-rules only. `display_path` is
+/// used verbatim in diagnostics. The workspace rules (L/P, stale waivers)
+/// need cross-file context — see [`analyze_files`].
+pub fn scan_source(display_path: &str, origin: &FileOrigin, src: &str) -> Vec<Diagnostic> {
+    let prep = prep_file(display_path, origin, src);
+    let found = d_rules(&prep);
+    let mut used = BTreeSet::new();
+    apply_allows_one(&prep, found, &mut used)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace analysis (two passes).
+// ---------------------------------------------------------------------------
+
+/// One source file handed to [`analyze_files`].
+pub struct SourceFile {
+    /// Path used verbatim in diagnostics.
+    pub display_path: String,
+    pub origin: FileOrigin,
+    pub src: String,
+}
+
+/// Size counters from pass 1, surfaced for benches and tooling.
+#[derive(Debug, Clone, Default)]
+pub struct IndexStats {
+    pub files: usize,
+    pub fns: usize,
+    pub call_sites: usize,
+    /// `.acquire()` events resolved to a named lock or a fn parameter.
+    pub lock_sites: usize,
+    /// rmpi send/recv/irecv/probe call sites.
+    pub rmpi_sites: usize,
+}
+
+/// Outcome of a whole-workspace analysis.
+pub struct Analysis {
+    /// All findings (D, L, P, `allow`, `stale`), sorted by path/line/rule.
+    pub diagnostics: Vec<Diagnostic>,
+    pub stats: IndexStats,
+    /// Canonical `(min, max)` lock pairs the static L-rule saw acquired in
+    /// both orders — comparable against `simt::SimReport::lock_inversions`.
+    pub lock_inversions: Vec<(String, String)>,
+}
+
+/// Two-pass analysis over a set of files: per-file D-rules, then the
+/// workspace index and the L/P rule families, then allow application with
+/// stale-waiver detection.
+pub fn analyze_files(files: &[SourceFile]) -> Analysis {
+    let preps: Vec<FilePrep> =
+        files.iter().map(|f| prep_file(&f.display_path, &f.origin, &f.src)).collect();
+    let idx = index::build(&preps);
+
+    let mut per_file: Vec<BTreeSet<Diagnostic>> = preps.iter().map(d_rules).collect();
+    let (l_diags, lock_inversions) = lockorder::run(&idx, &preps);
+    let p_diags = protocol::run(&idx, &preps);
+    let by_path: BTreeMap<&str, usize> =
+        preps.iter().enumerate().map(|(i, p)| (p.display.as_str(), i)).collect();
+    for d in l_diags.into_iter().chain(p_diags) {
+        if let Some(&i) = by_path.get(d.path.as_str()) {
+            per_file[i].insert(d);
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    for (i, prep) in preps.iter().enumerate() {
+        let mut used: BTreeSet<(usize, String)> = BTreeSet::new();
+        let found = std::mem::take(&mut per_file[i]);
+        let mut kept = apply_allows_one(prep, found, &mut used);
+        for (di, dir) in prep.allows.directives.iter().enumerate() {
+            for r in &dir.rules {
+                if !used.contains(&(di, r.clone())) {
+                    kept.push(Diagnostic {
+                        path: prep.display.clone(),
+                        line: dir.line,
+                        rule: "stale".to_string(),
+                        message: format!(
+                            "stale waiver: `{r}` never fires here; remove it from the \
+                             directive or fix the rule id"
+                        ),
+                    });
+                }
+            }
+        }
+        diagnostics.extend(kept);
+    }
+    diagnostics.sort();
+    diagnostics.dedup();
+    let stats = idx.stats.clone();
+    Analysis { diagnostics, stats, lock_inversions }
+}
+
+/// Render diagnostics as one valid JSON array (pretty enough for humans,
+/// parseable by `jq`). NDJSON remains available via [`Diagnostic::render_json`]
+/// per line.
+pub fn render_json_array(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let rows: Vec<String> = diags.iter().map(|d| format!("  {}", d.render_json())).collect();
+    format!("[\n{}\n]", rows.join(",\n"))
+}
+
 /// True when the match of `needle` at `pos` is not glued to identifier
 /// characters: a needle starting with an ident char must not continue one
 /// (`spark()` is not `park()`), and one ending with an ident char must not
 /// run into one (`rand_chacha` is not `rand`).
-fn word_match(text: &str, pos: usize, needle: &str) -> bool {
+pub(crate) fn word_match(text: &str, pos: usize, needle: &str) -> bool {
     let bytes = text.as_bytes();
     let first = needle.chars().next().unwrap_or(' ');
     if pos > 0 && is_ident_char(first) && is_ident_char(bytes[pos - 1] as char) {
@@ -525,7 +746,7 @@ fn word_match(text: &str, pos: usize, needle: &str) -> bool {
     true
 }
 
-fn each_match(text: &str, needle: &str, mut f: impl FnMut(usize)) {
+pub(crate) fn each_match(text: &str, needle: &str, mut f: impl FnMut(usize)) {
     let mut from = 0usize;
     while let Some(pos) = find_from(text, needle, from) {
         if word_match(text, pos, needle) {
@@ -692,7 +913,7 @@ fn collect_hash_idents(text: &str) -> BTreeSet<String> {
 /// Given the offset of a `HashMap`/`HashSet` token, walk backward to the
 /// ident it is bound to: `name: ...HashMap<...>` (field/param/let-annotation)
 /// or `let [mut] name = HashMap::new()`-style initializers.
-fn ident_bound_at(text: &str, pos: usize) -> Option<String> {
+pub(crate) fn ident_bound_at(text: &str, pos: usize) -> Option<String> {
     let b = text.as_bytes();
     let mut j = pos;
     // Walk back over the type/path prefix to the single `:` that introduces
@@ -722,7 +943,7 @@ fn ident_bound_at(text: &str, pos: usize) -> Option<String> {
 }
 
 /// Parse the identifier ending just before `end` (skipping trailing spaces).
-fn ident_before(text: &str, end: usize) -> Option<String> {
+pub(crate) fn ident_before(text: &str, end: usize) -> Option<String> {
     let b = text.as_bytes();
     let mut j = end;
     while j > 0 && (b[j - 1] as char).is_whitespace() {
@@ -745,7 +966,7 @@ fn ident_before(text: &str, end: usize) -> Option<String> {
 
 /// For `let [mut] NAME = <expr with HashMap>`: parse NAME from just before
 /// the `=` at `eq`.
-fn let_ident_before(text: &str, eq: usize) -> Option<String> {
+pub(crate) fn let_ident_before(text: &str, eq: usize) -> Option<String> {
     let name = ident_before(text, eq)?;
     let b = text.as_bytes();
     // Verify a `let` introduces this binding (walk back over `mut`/ws/name).
@@ -773,7 +994,7 @@ fn let_ident_before(text: &str, eq: usize) -> Option<String> {
 /// Walk backward from `dot` (the `.` starting an iterator adapter) and
 /// collect the plain-ident segments of the receiver chain, skipping over
 /// call segments like `.lock()`.
-fn receiver_segments(text: &str, dot: usize) -> Vec<String> {
+pub(crate) fn receiver_segments(text: &str, dot: usize) -> Vec<String> {
     let b = text.as_bytes();
     let mut segs = Vec::new();
     let mut j = dot;
@@ -1122,9 +1343,9 @@ fn rule_d6(ctx: &RuleCtx<'_>, m: &Masked, text: &str, out: &mut BTreeSet<Diagnos
 // Workspace walking.
 // ---------------------------------------------------------------------------
 
-/// Scan every workspace crate's `src/` tree (plus the umbrella package's
-/// `src/`) under `root`. Returns diagnostics sorted by path, line, rule.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+/// Run the full two-pass analysis over every workspace crate's `src/` tree
+/// (plus the umbrella package's `src/`) under `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
     let mut files: Vec<(PathBuf, FileOrigin)> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -1142,17 +1363,23 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     }
     collect_rs(&root.join("src"), root, "root", &mut files)?;
 
-    let mut out = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for (path, origin) in files {
         let src = std::fs::read_to_string(&path)?;
         let display = path
             .strip_prefix(root)
             .map(|p| p.display().to_string())
             .unwrap_or_else(|_| path.display().to_string());
-        out.extend(scan_source(&display, &origin, &src));
+        sources.push(SourceFile { display_path: display, origin, src });
     }
-    out.sort();
-    Ok(out)
+    Ok(analyze_files(&sources))
+}
+
+/// Scan every workspace crate under `root` and return the diagnostics alone
+/// (the full two-pass analysis, including L/P rules and stale waivers),
+/// sorted by path, line, rule.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace(root)?.diagnostics)
 }
 
 fn collect_rs(

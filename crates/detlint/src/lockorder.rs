@@ -1,0 +1,190 @@
+//! Rule L1: static lock-order graph over the workspace index.
+//!
+//! Each task context contributes directed edges `held -> acquired` by
+//! replaying its acquire/release events with a held-stack; a `Call` made
+//! while holding locks pulls in the callee's own acquisitions (one level,
+//! with fn parameters resolved through the caller's arguments). A pair of
+//! labels with edges in both directions is an AB/BA inversion — the same
+//! thing simt's dynamic diagnoser logs in `inversion_log`, found without
+//! having to hit the schedule that interleaves them. Longer cycles
+//! (`A -> B -> C -> A`) are reported too; the dynamic side can only hang on
+//! those, never log them as pairs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::index::{Event, ResRef, WorkspaceIndex};
+use crate::{Diagnostic, FilePrep};
+
+/// An edge site: which file/position first witnessed `from -> to`.
+type Edges = BTreeMap<(String, String), (usize, usize)>;
+
+pub(crate) fn run(
+    idx: &WorkspaceIndex,
+    preps: &[FilePrep],
+) -> (Vec<Diagnostic>, Vec<(String, String)>) {
+    let mut edges: Edges = BTreeMap::new();
+
+    for f in &idx.fns {
+        for ctx in &f.contexts {
+            let mut held: Vec<String> = Vec::new();
+            for ev in ctx {
+                match ev {
+                    Event::Acquire { res, pos } => {
+                        if let ResRef::Label(l) = res {
+                            for h in &held {
+                                if h != l {
+                                    edges.entry((h.clone(), l.clone())).or_insert((f.file, *pos));
+                                }
+                            }
+                            held.push(l.clone());
+                        }
+                    }
+                    Event::Release { res } => {
+                        if let ResRef::Label(l) = res {
+                            if let Some(p) = held.iter().rposition(|h| h == l) {
+                                held.remove(p);
+                            }
+                        }
+                    }
+                    Event::Call { callee, args, pos } => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        // One-level propagation: the callee's entry-context
+                        // acquisitions happen while our locks are held.
+                        for &ci in idx.by_name.get(callee).into_iter().flatten() {
+                            let cf = &idx.fns[ci];
+                            for cev in cf.contexts.first().into_iter().flatten() {
+                                let Event::Acquire { res, .. } = cev else { continue };
+                                let label = match res {
+                                    ResRef::Label(l) => Some(l.clone()),
+                                    ResRef::Param(p) => cf
+                                        .params
+                                        .iter()
+                                        .position(|q| q == p)
+                                        .and_then(|i| args.get(i))
+                                        .and_then(|a| idx.labels[f.file].get(a).cloned()),
+                                };
+                                if let Some(l) = label {
+                                    for h in &held {
+                                        if *h != l {
+                                            edges
+                                                .entry((h.clone(), l.clone()))
+                                                .or_insert((f.file, *pos));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let site = |file: usize, pos: usize| -> (String, usize) {
+        (preps[file].display.clone(), preps[file].masked.line_of(pos))
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut inversions: BTreeSet<(String, String)> = BTreeSet::new();
+
+    // AB/BA pairs: both directions present.
+    for ((from, to), &(file, pos)) in &edges {
+        if from >= to {
+            continue; // visit each unordered pair once, from its (min, max) key
+        }
+        let Some(&(rfile, rpos)) = edges.get(&(to.clone(), from.clone())) else { continue };
+        inversions.insert((from.clone(), to.clone()));
+        let s_ab = site(file, pos); // `to` acquired while `from` held
+        let s_ba = site(rfile, rpos); // `from` acquired while `to` held
+                                      // Report at the later site, pointing back at the earlier one.
+        let (rpt, other, acq, held_lbl, oacq, oheld) =
+            if (s_ab.0.as_str(), s_ab.1) >= (s_ba.0.as_str(), s_ba.1) {
+                (s_ab, s_ba, to, from, from, to)
+            } else {
+                (s_ba, s_ab, from, to, to, from)
+            };
+        diags.push(Diagnostic {
+            path: rpt.0,
+            line: rpt.1,
+            rule: "L1".to_string(),
+            message: format!(
+                "lock-order inversion between `{from}` and `{to}`: `{acq}` is acquired \
+                 while `{held_lbl}` is held here, but {}:{} acquires `{oacq}` while \
+                 `{oheld}` is held; an adversarial schedule deadlocks (AB/BA)",
+                other.0, other.1
+            ),
+        });
+    }
+
+    // Longer cycles: DFS over the label graph, canonical start at the
+    // smallest label, bounded depth (the workspace has a handful of labels).
+    let mut adj: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.clone()).or_default().push(to.clone());
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys() {
+        let mut stack: Vec<String> = vec![start.clone()];
+        dfs_cycles(start, start, &mut stack, &adj, &mut seen_cycles);
+    }
+    for cyc in &seen_cycles {
+        if cyc.len() < 3 {
+            continue; // 2-cycles already reported as inversions
+        }
+        // Report at the latest edge site of the cycle.
+        let mut rpt: Option<(String, usize)> = None;
+        for w in 0..cyc.len() {
+            let from = &cyc[w];
+            let to = &cyc[(w + 1) % cyc.len()];
+            if let Some(&(file, pos)) = edges.get(&(from.clone(), to.clone())) {
+                let s = site(file, pos);
+                if rpt.as_ref().map(|r| s > *r).unwrap_or(true) {
+                    rpt = Some(s);
+                }
+            }
+        }
+        let Some((path, line)) = rpt else { continue };
+        let chain: Vec<String> = cyc.iter().chain(cyc.first()).map(|l| format!("`{l}`")).collect();
+        diags.push(Diagnostic {
+            path,
+            line,
+            rule: "L1".to_string(),
+            message: format!(
+                "lock-order cycle {}: each lock is acquired while the previous one is \
+                 held; an adversarial schedule deadlocks",
+                chain.join(" -> ")
+            ),
+        });
+    }
+
+    (diags, inversions.into_iter().collect())
+}
+
+/// Enumerate simple cycles through `start`, visiting only labels >= `start`
+/// so every cycle is found exactly once (rotated to begin at its smallest
+/// label). Depth-capped: lock chains beyond 6 deep don't occur here.
+fn dfs_cycles(
+    start: &str,
+    node: &str,
+    stack: &mut Vec<String>,
+    adj: &BTreeMap<String, Vec<String>>,
+    out: &mut BTreeSet<Vec<String>>,
+) {
+    if stack.len() > 6 {
+        return;
+    }
+    for next in adj.get(node).into_iter().flatten() {
+        if next == start {
+            out.insert(stack.clone());
+            continue;
+        }
+        if next.as_str() < start || stack.iter().any(|s| s == next) {
+            continue;
+        }
+        stack.push(next.clone());
+        dfs_cycles(start, next, stack, adj, out);
+        stack.pop();
+    }
+}

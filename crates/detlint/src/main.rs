@@ -1,21 +1,39 @@
-//! CLI for the determinism lints: `cargo run -p detlint [-- --json] [ROOT]`.
+//! CLI for the determinism & protocol lints:
+//! `cargo run -p detlint [-- --json|--ndjson|--sarif] [ROOT]`.
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    /// One valid JSON array (jq-friendly).
+    Json,
+    /// One JSON object per line.
+    Ndjson,
+    /// SARIF 2.1.0 for CI code scanning.
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--ndjson" => format = Format::Ndjson,
+            "--sarif" => format = Format::Sarif,
             "--help" | "-h" => {
                 println!(
-                    "usage: detlint [--json] [ROOT]\n\n\
-                     Scans every workspace crate for determinism violations (rules D1-D6).\n\
+                    "usage: detlint [--json|--ndjson|--sarif] [ROOT]\n\n\
+                     Scans every workspace crate for determinism violations (rules D1-D6)\n\
+                     and runs the two-pass workspace analysis (lock-order rule L1,\n\
+                     protocol rules P1-P3, stale-waiver check).\n\
                      ROOT defaults to the enclosing cargo workspace.\n\n\
+                     --json    one valid JSON array of findings\n\
+                     --ndjson  one JSON object per line\n\
+                     --sarif   SARIF 2.1.0 log for CI code scanning\n\n\
                      exit codes: 0 clean, 1 findings, 2 error"
                 );
                 return ExitCode::SUCCESS;
@@ -48,28 +66,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match detlint::scan_workspace(&root) {
-        Ok(d) => d,
+    let analysis = match detlint::analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("detlint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let diags = &analysis.diagnostics;
 
-    for d in &diags {
-        if json {
-            println!("{}", d.render_json());
-        } else {
-            println!("{}", d.render());
+    match format {
+        Format::Text => {
+            for d in diags {
+                println!("{}", d.render());
+            }
         }
+        Format::Json => println!("{}", detlint::render_json_array(diags)),
+        Format::Ndjson => {
+            for d in diags {
+                println!("{}", d.render_json());
+            }
+        }
+        Format::Sarif => println!("{}", detlint::sarif::render(diags)),
     }
     if diags.is_empty() {
-        if !json {
+        if matches!(format, Format::Text) {
             eprintln!("detlint: workspace clean");
         }
         ExitCode::SUCCESS
     } else {
-        if !json {
+        if matches!(format, Format::Text) {
             eprintln!("detlint: {} finding(s)", diags.len());
         }
         ExitCode::from(1)

@@ -211,3 +211,203 @@ fn the_workspace_is_clean() {
     let rendered: Vec<String> = diags.iter().map(Diagnostic::render).collect();
     assert!(rendered.is_empty(), "determinism lints must hold:\n{}", rendered.join("\n"));
 }
+
+// ---------------------------------------------------------------------------
+// Workspace rules (L1, P1-P3), stale waivers, and output formats
+// ---------------------------------------------------------------------------
+
+use detlint::{analyze_files, analyze_workspace, render_json_array, SourceFile};
+
+fn analyze(crate_name: &str, src: &str) -> Vec<(usize, String, String)> {
+    analyze_files(&[SourceFile {
+        display_path: "fixture.rs".to_string(),
+        origin: origin(crate_name),
+        src: src.to_string(),
+    }])
+    .diagnostics
+    .into_iter()
+    .map(|d| (d.line, d.rule, d.message))
+    .collect()
+}
+
+#[test]
+fn l1_flags_abba_lock_order_inversion() {
+    let src = include_str!("fixtures/l1_lock_order.rs");
+    assert_eq!(
+        analyze("sparklet", src),
+        vec![(
+            15,
+            "L1".to_string(),
+            "lock-order inversion between `A` and `B`: `A` is acquired while `B` is held \
+             here, but fixture.rs:9 acquires `B` while `A` is held; an adversarial \
+             schedule deadlocks (AB/BA)"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn p1_flags_leaked_irecv_requests() {
+    let src = include_str!("fixtures/p1_request_leak.rs");
+    let diags = analyze("core", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!(
+        (diags[0].0, diags[0].1.as_str(), diags[0].2.as_str()),
+        (
+            4,
+            "P1",
+            "`irecv` Request discarded on the spot: the posted receive can never be \
+             completed or cancelled and leaks its slot; bind the Request and \
+             `wait`/`test`/`cancel` it (or `attach` it to a `CompletionSet`)"
+        )
+    );
+    assert_eq!(
+        (diags[1].0, diags[1].1.as_str(), diags[1].2.as_str()),
+        (
+            8,
+            "P1",
+            "`irecv` Request bound to `req` is never consumed: it must reach \
+             `wait`/`wait_timeout`/`test`/`cancel`/`waitall`/`waitany`/`testsome` \
+             or escape the function"
+        )
+    );
+}
+
+#[test]
+fn p2_flags_untimed_recv_on_retry_covered_paths() {
+    let src = include_str!("fixtures/p2_untimed_recv.rs");
+    assert_eq!(
+        analyze("core", src),
+        vec![(
+            7,
+            "P2".to_string(),
+            "untimed blocking `recv` on a retry-covered message path: `RetryPolicy` \
+             resends after a timeout, but this receive can block forever and strand \
+             the retry loop; use `recv_timeout` or `irecv` + `wait_timeout`"
+                .to_string()
+        )]
+    );
+}
+
+#[test]
+fn p2_is_silent_inside_rmpi_itself() {
+    let src = include_str!("fixtures/p2_untimed_recv.rs");
+    assert_eq!(analyze("rmpi", src), vec![]);
+}
+
+#[test]
+fn p3_flags_one_sided_tag_constants() {
+    let src = include_str!("fixtures/p3_tag_mismatch.rs");
+    assert_eq!(
+        analyze("netz", src),
+        vec![
+            (
+                7,
+                "P3".to_string(),
+                "tag constant `REQ_TAG` is sent but never received anywhere in the \
+                 workspace: the message can never be matched; add the receive or \
+                 fix the tag"
+                    .to_string()
+            ),
+            (
+                11,
+                "P3".to_string(),
+                "tag constant `ACK_TAG` is received but never sent anywhere in the \
+                 workspace: this receive can never match; add the send or fix \
+                 the tag"
+                    .to_string()
+            ),
+        ]
+    );
+}
+
+#[test]
+fn allow_directive_can_name_multiple_rules() {
+    let src =
+        "pub fn f() {\n    // detlint: allow(D1, D2, reason = \"fixture exercises both\")\n    \
+               let _ = std::time::Instant::now(); let _ = std::thread::spawn(|| ());\n}\n";
+    assert_eq!(scan("netz", src), vec![]);
+}
+
+#[test]
+fn empty_reason_is_a_finding_and_does_not_waive() {
+    let src = "pub fn f() {\n    let _ = std::time::Instant::now(); \
+               // detlint: allow(D1, reason = \"\")\n}\n";
+    let diags = scan("netz", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (2, "D1"));
+    assert_eq!(diags[1].1, "allow");
+    assert!(diags[1].2.contains("must name a rule and a reason"), "{}", diags[1].2);
+}
+
+#[test]
+fn malformed_rule_name_is_a_finding_and_does_not_waive() {
+    let src = "pub fn f() {\n    let _ = std::time::Instant::now(); \
+               // detlint: allow(D1, D9?, reason = \"broken rule id\")\n}\n";
+    let diags = scan("netz", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (2, "D1"));
+    assert_eq!(diags[1].1, "allow");
+}
+
+#[test]
+fn directive_on_the_last_line_is_reported_stale() {
+    let src = "pub fn f() {}\n// detlint: allow(D1, reason = \"nothing left to waive\")";
+    let diags = analyze("netz", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (2, "stale"));
+    assert!(diags[0].2.contains("`D1` never fires"), "{}", diags[0].2);
+}
+
+#[test]
+fn scan_source_does_not_report_stale_waivers_but_analyze_files_does() {
+    let src = "pub fn f() {\n    // detlint: allow(D1, reason = \"stale on purpose\")\n    \
+               let _x = 1;\n}\n";
+    assert_eq!(scan("netz", src), vec![]);
+    let diags = analyze("netz", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (2, "stale"));
+}
+
+#[test]
+fn unused_rule_in_a_multi_rule_directive_is_stale() {
+    let src = "pub fn f() {\n    // detlint: allow(D1, D2, reason = \"only D1 fires\")\n    \
+               let _ = std::time::Instant::now();\n}\n";
+    let diags = analyze("netz", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!((diags[0].0, diags[0].1.as_str()), (2, "stale"));
+    assert!(diags[0].2.contains("`D2`"), "{}", diags[0].2);
+}
+
+#[test]
+fn json_array_output_is_one_valid_array() {
+    assert_eq!(render_json_array(&[]), "[]");
+    let diags = vec![
+        Diagnostic {
+            path: "a.rs".to_string(),
+            line: 1,
+            rule: "D1".to_string(),
+            message: "m1".to_string(),
+        },
+        Diagnostic {
+            path: "b.rs".to_string(),
+            line: 2,
+            rule: "P3".to_string(),
+            message: "m2".to_string(),
+        },
+    ];
+    let expected = format!("[\n  {},\n  {}\n]", diags[0].render_json(), diags[1].render_json());
+    assert_eq!(render_json_array(&diags), expected);
+}
+
+#[test]
+fn workspace_analysis_is_clean_and_indexes_real_symbols() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let analysis = analyze_workspace(root).expect("workspace analysis");
+    let rendered: Vec<String> = analysis.diagnostics.iter().map(Diagnostic::render).collect();
+    assert!(rendered.is_empty(), "workspace rules must hold:\n{}", rendered.join("\n"));
+    assert!(analysis.stats.files > 30, "{:?}", analysis.stats);
+    assert!(analysis.stats.fns > 200, "{:?}", analysis.stats);
+    assert!(analysis.stats.call_sites > 500, "{:?}", analysis.stats);
+    assert!(analysis.stats.rmpi_sites > 10, "{:?}", analysis.stats);
+}

@@ -1,0 +1,19 @@
+//! Fixture: AB/BA lock-order inversion between two spawned tasks.
+
+pub fn scenario(sim: &simt::Sim) {
+    let a = simt::sync::Semaphore::named("A", 1);
+    let b = simt::sync::Semaphore::named("B", 1);
+    let (a2, b2) = (a.clone(), b.clone());
+    sim.spawn("t-ab", move || {
+        a.acquire(1);
+        b.acquire(1);
+        b.release(1);
+        a.release(1);
+    });
+    sim.spawn("t-ba", move || {
+        b2.acquire(1);
+        a2.acquire(1);
+        a2.release(1);
+        b2.release(1);
+    });
+}

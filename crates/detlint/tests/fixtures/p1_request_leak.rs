@@ -1,0 +1,18 @@
+//! Fixture: irecv Requests that are never completed, cancelled, or escaped.
+
+pub fn leak_discarded(comm: &rmpi::Comm, tag: u64) {
+    comm.irecv(None, Some(tag));
+}
+
+pub fn leak_bound(comm: &rmpi::Comm, tag: u64) {
+    let req = comm.irecv(None, Some(tag));
+    simt::sleep(1);
+}
+
+pub fn ok_chained(comm: &rmpi::Comm, tag: u64) -> bool {
+    comm.irecv(None, Some(tag)).wait().is_ok()
+}
+
+pub fn ok_escapes(comm: &rmpi::Comm, tags: &[u64]) -> Vec<rmpi::Request> {
+    tags.iter().map(|&t| comm.irecv(None, Some(t))).collect()
+}

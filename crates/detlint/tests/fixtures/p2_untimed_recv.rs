@@ -1,0 +1,9 @@
+//! Fixture: untimed blocking recv on a retry-covered message path. The
+//! RetryPolicy mention arms P2 for this (single-file) analysis.
+
+pub fn fetch(comm: &rmpi::Comm, policy: &netz::RetryPolicy) -> usize {
+    let _ = policy;
+    comm.send(0, REQ_TAG, body()).unwrap();
+    let (payload, _status) = comm.recv(None, Some(REQ_TAG)).unwrap();
+    payload.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: tag constants used on only one side of the conversation.
+
+pub const REQ_TAG: u64 = 7;
+pub const ACK_TAG: u64 = 8;
+
+pub fn request(comm: &rmpi::Comm) {
+    comm.send(0, REQ_TAG, body()).unwrap();
+}
+
+pub fn respond(comm: &rmpi::Comm) {
+    let _ = comm.recv(None, Some(ACK_TAG));
+}

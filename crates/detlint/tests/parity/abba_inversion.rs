@@ -1,0 +1,22 @@
+//! Parity scenario: AB and BA acquisition orders that never overlap in time.
+//! The run completes, so simt logs the inversion dynamically; detlint must
+//! find the same pair statically.
+
+pub fn scenario(sim: &simt::Sim) {
+    let a = simt::sync::Semaphore::named("A", 1);
+    let b = simt::sync::Semaphore::named("B", 1);
+    let (a2, b2) = (a.clone(), b.clone());
+    sim.spawn("first", move || {
+        a.acquire(1);
+        b.acquire(1);
+        b.release(1);
+        a.release(1);
+    });
+    sim.spawn("second", move || {
+        simt::sleep(100);
+        b2.acquire(1);
+        a2.acquire(1);
+        a2.release(1);
+        b2.release(1);
+    });
+}

@@ -1,0 +1,26 @@
+//! Parity scenario: the second acquire is hidden inside a helper function, so
+//! the static pass only sees the inversion by propagating the helper's lock
+//! sequence one level through the call graph.
+
+pub fn grab(sem: &simt::sync::Semaphore) {
+    sem.acquire(1);
+    sem.release(1);
+}
+
+pub fn scenario(sim: &simt::Sim) {
+    let a = simt::sync::Semaphore::named("A", 1);
+    let b = simt::sync::Semaphore::named("B", 1);
+    let (a2, b2) = (a.clone(), b.clone());
+    sim.spawn("ab-via-helper", move || {
+        a.acquire(1);
+        grab(&b);
+        a.release(1);
+    });
+    sim.spawn("ba-direct", move || {
+        simt::sleep(100);
+        b2.acquire(1);
+        a2.acquire(1);
+        a2.release(1);
+        b2.release(1);
+    });
+}

@@ -1,0 +1,32 @@
+//! Parity scenario: a three-way lock cycle. No single pair inverts, so the
+//! dynamic inversion log stays empty and the deadlock report carries a
+//! 3-cycle; statically this is detlint's cycle finding, not an L1 pair.
+
+pub fn scenario(sim: &simt::Sim) {
+    let a = simt::sync::Semaphore::named("A", 1);
+    let b = simt::sync::Semaphore::named("B", 1);
+    let c = simt::sync::Semaphore::named("C", 1);
+    let (a2, b2) = (a.clone(), b.clone());
+    let (c2, a3) = (c.clone(), a2.clone());
+    sim.spawn("t-ab", move || {
+        a.acquire(1);
+        simt::sleep(10);
+        b.acquire(1);
+        b.release(1);
+        a.release(1);
+    });
+    sim.spawn("t-bc", move || {
+        b2.acquire(1);
+        simt::sleep(10);
+        c.acquire(1);
+        c.release(1);
+        b2.release(1);
+    });
+    sim.spawn("t-ca", move || {
+        c2.acquire(1);
+        simt::sleep(10);
+        a3.acquire(1);
+        a3.release(1);
+        c2.release(1);
+    });
+}

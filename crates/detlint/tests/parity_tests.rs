@@ -1,0 +1,125 @@
+//! Static/dynamic parity: every lock-order inversion that simt's runtime
+//! diagnoser observes must also be found by detlint's static L-rule on the
+//! same source. Static-only findings are fine (the static pass considers
+//! schedules the runtime never took); dynamic-only findings are a bug in the
+//! analyzer and fail here.
+//!
+//! Each scenario under `tests/parity/` is both compiled as a module (so simt
+//! actually executes it) and fed verbatim to `analyze_files` via
+//! `include_str!` (so detlint analyzes the exact same code).
+
+use std::collections::BTreeSet;
+
+use detlint::{analyze_files, Analysis, FileOrigin, SourceFile};
+
+#[path = "parity/abba_deadlock.rs"]
+mod abba_deadlock;
+#[path = "parity/abba_inversion.rs"]
+mod abba_inversion;
+#[path = "parity/helper_propagation.rs"]
+mod helper_propagation;
+#[path = "parity/three_cycle.rs"]
+mod three_cycle;
+
+fn static_analysis(name: &str, src: &str) -> Analysis {
+    analyze_files(&[SourceFile {
+        display_path: format!("tests/parity/{name}.rs"),
+        origin: FileOrigin {
+            crate_name: "sparklet".to_string(),
+            rel_path: format!("tests/parity/{name}.rs"),
+        },
+        src: src.to_string(),
+    }])
+}
+
+/// Everything the runtime observed about lock ordering: completed-acquire
+/// inversions, plus the pair behind any 2-cycle deadlock (those acquires
+/// never complete, so they are absent from the inversion log by design).
+fn dynamic_pairs(report: &simt::SimReport) -> BTreeSet<(String, String)> {
+    let mut pairs: BTreeSet<(String, String)> = report.lock_inversions.iter().cloned().collect();
+    for cyc in &report.deadlocks {
+        if cyc.len() == 2 {
+            let (a, b) = (cyc[0].1.clone(), cyc[1].1.clone());
+            pairs.insert(if a <= b { (a, b) } else { (b, a) });
+        }
+    }
+    pairs
+}
+
+fn assert_parity(name: &str, src: &str, scenario: fn(&simt::Sim)) -> Analysis {
+    let sim = simt::Sim::new();
+    scenario(&sim);
+    let report = sim.run().expect("scenario runs");
+    let dynamic = dynamic_pairs(&report);
+    let analysis = static_analysis(name, src);
+    let found: BTreeSet<(String, String)> = analysis.lock_inversions.iter().cloned().collect();
+    let missing: Vec<_> = dynamic.difference(&found).collect();
+    assert!(
+        missing.is_empty(),
+        "{name}: runtime observed inversions the static L-rule missed: {missing:?} \
+         (static found: {found:?})"
+    );
+    analysis
+}
+
+#[test]
+fn completed_abba_inversion_is_found_statically() {
+    let analysis = assert_parity(
+        "abba_inversion",
+        include_str!("parity/abba_inversion.rs"),
+        abba_inversion::scenario,
+    );
+    assert_eq!(analysis.lock_inversions, vec![("A".to_string(), "B".to_string())]);
+    assert!(analysis.diagnostics.iter().any(|d| d.rule == "L1"), "{:?}", analysis.diagnostics);
+}
+
+#[test]
+fn deadlocked_abba_pair_is_found_statically() {
+    let sim = simt::Sim::new();
+    abba_deadlock::scenario(&sim);
+    let report = sim.run().expect("scenario runs");
+    assert!(
+        report.lock_inversions.is_empty(),
+        "deadlocked acquires never complete, so the dynamic log must be empty"
+    );
+    assert_eq!(report.deadlocks.len(), 1, "{:?}", report.deadlocks);
+    let analysis = assert_parity(
+        "abba_deadlock",
+        include_str!("parity/abba_deadlock.rs"),
+        abba_deadlock::scenario,
+    );
+    assert_eq!(analysis.lock_inversions, vec![("A".to_string(), "B".to_string())]);
+}
+
+#[test]
+fn inversion_through_a_helper_call_is_found_statically() {
+    let analysis = assert_parity(
+        "helper_propagation",
+        include_str!("parity/helper_propagation.rs"),
+        helper_propagation::scenario,
+    );
+    assert_eq!(analysis.lock_inversions, vec![("A".to_string(), "B".to_string())]);
+}
+
+#[test]
+fn three_way_cycle_is_reported_statically_without_any_pairwise_inversion() {
+    let analysis =
+        assert_parity("three_cycle", include_str!("parity/three_cycle.rs"), three_cycle::scenario);
+    let cycle = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("lock-order cycle"))
+        .expect("static 3-cycle finding");
+    for label in ["`A`", "`B`", "`C`"] {
+        assert!(cycle.message.contains(label), "{}", cycle.message);
+    }
+}
+
+#[test]
+fn sim_accessor_matches_the_report_inversion_log() {
+    let sim = simt::Sim::new();
+    abba_inversion::scenario(&sim);
+    let report = sim.run().expect("scenario runs");
+    assert_eq!(sim.lock_inversions(), report.lock_inversions);
+    assert_eq!(sim.lock_inversions(), vec![("A".to_string(), "B".to_string())]);
+}

@@ -450,6 +450,15 @@ impl Sim {
         self.inner.now()
     }
 
+    /// Snapshot of the lock-order inversion log so far: canonical
+    /// `(min-label, max-label)` resource pairs observed acquired in both
+    /// orders. The same data lands in [`SimReport::lock_inversions`] at the
+    /// end of a run; this accessor lets tooling (detlint's static/dynamic
+    /// parity tests) read it between [`Sim::run`] calls or mid-scenario.
+    pub fn lock_inversions(&self) -> Vec<(String, String)> {
+        self.inner.diag.lock().inversion_log()
+    }
+
     /// Run until the event heap drains. Green-thread panics are re-raised
     /// here. May be called repeatedly (spawn more threads in between).
     pub fn run(&self) -> Result<SimReport, SimError> {

@@ -83,7 +83,7 @@ pub fn zipf_keys(seed: u64, n: u64, key_range: u64, exponent: f64) -> Vec<u64> {
         cdf.push(acc);
     }
     let total = acc;
-    let mut rng = SmallRng::seed_from_u64(seed); // detlint: allow(D3, reason = "seeded SmallRng; stream derived from the workload seed")
+    let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let u: f64 = rng.gen::<f64>() * total;
@@ -100,7 +100,7 @@ pub fn generate_kv_zipf(sc: &SparkContext, cfg: OhbConfig, exponent: f64) -> Rdd
         .generate(cfg.partitions, move |p| {
             let part_seed = cfg.seed ^ (p as u64).wrapping_mul(0x9E37_79B9);
             let keys = zipf_keys(part_seed, cfg.records_per_partition, cfg.key_range, exponent);
-            let mut rng = SmallRng::seed_from_u64(part_seed.rotate_left(17)); // detlint: allow(D3, reason = "seeded SmallRng; stream derived from the workload seed")
+            let mut rng = SmallRng::seed_from_u64(part_seed.rotate_left(17));
             keys.into_iter().map(|k| (k, Blob::new(rng.gen(), cfg.value_bytes))).collect()
         })
         .cache();
@@ -117,7 +117,7 @@ pub fn generate_kv_hot(sc: &SparkContext, cfg: OhbConfig, hot_fraction: f64) -> 
     let data = sc
         .generate(cfg.partitions, move |p| {
             let part_seed = cfg.seed ^ (p as u64).wrapping_mul(0x9E37_79B9);
-            let mut rng = SmallRng::seed_from_u64(part_seed); // detlint: allow(D3, reason = "seeded SmallRng; stream derived from the workload seed")
+            let mut rng = SmallRng::seed_from_u64(part_seed);
             (0..cfg.records_per_partition)
                 .map(|_| {
                     let key = if rng.gen::<f64>() < hot_fraction {

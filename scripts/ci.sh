@@ -92,8 +92,13 @@ echo "==> recovery smoke (crash + slowdown cells, small scale)"
 echo "==> AQE smoke (zipfian GroupBy, static vs adaptive, small scale)"
 "$CARGO" run -q --release -p mpi4spark-bench --bin bench_aqe "$@" -- --scale small
 
-echo "==> detlint (determinism rules D1-D6)"
+echo "==> detlint (determinism D1-D6, lock-order L1, protocol P1-P3)"
 "$CARGO" run -q --release -p detlint
+
+# detlint throughput bench: times the two-pass workspace analysis on this
+# tree and re-checks cleanliness; writes BENCH_detlint.json at the root.
+echo "==> detlint throughput bench (writes BENCH_detlint.json)"
+"$CARGO" run -q --release -p mpi4spark-bench --bin bench_detlint "$@"
 
 echo "==> cargo fmt --check"
 "$CARGO" fmt --all -- --check
