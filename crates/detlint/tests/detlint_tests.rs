@@ -37,6 +37,17 @@ fn d1_is_waived_inside_simt() {
 }
 
 #[test]
+fn d1_flags_wall_clock_deadline_timers() {
+    // The bounded-latency anti-pattern: a job deadline armed at
+    // `Instant::now()` instead of `simt::DeadlineTimer`. D1 fires at both
+    // the arm site and the field that smuggles the wall-clock instant.
+    let src = include_str!("fixtures/d1_deadline_timer.rs");
+    let diags = scan("sparklet", src);
+    let hits: Vec<(usize, &str)> = diags.iter().map(|(l, r, _)| (*l, r.as_str())).collect();
+    assert_eq!(hits, vec![(7, "D1"), (13, "D1")], "arm site and stored instant must both fire");
+}
+
+#[test]
 fn d2_flags_os_threads() {
     let src = include_str!("fixtures/d2_os_thread.rs");
     assert_eq!(

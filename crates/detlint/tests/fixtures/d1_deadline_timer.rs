@@ -1,0 +1,19 @@
+//! Fixture: rule D1 — a bounded-latency job deadline armed off the host
+//! wall clock. Budgets must ride the virtual clock (`simt::DeadlineTimer`):
+//! a wall-clock expiry fires at a different virtual instant on every host,
+//! so the partial result it produces never replays under a seed.
+
+pub struct WallClockDeadline {
+    armed_at: std::time::Instant,
+    budget_ns: u64,
+}
+
+impl WallClockDeadline {
+    pub fn arm(budget_ns: u64) -> Self {
+        Self { armed_at: std::time::Instant::now(), budget_ns }
+    }
+
+    pub fn expired(&self) -> bool {
+        self.armed_at.elapsed().as_nanos() as u64 >= self.budget_ns
+    }
+}

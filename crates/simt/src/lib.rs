@@ -48,11 +48,13 @@ pub mod queue;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod timer;
 
 pub use cpu::Cpu;
 pub use engine::{Sim, SimError, SimReport, TaskId, TaskObserver};
 pub use rng::SeededRng;
 pub use time::{Duration, Instant};
+pub use timer::DeadlineTimer;
 
 use engine::with_current;
 

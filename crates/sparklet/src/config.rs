@@ -172,6 +172,29 @@ impl Default for AqeConf {
     }
 }
 
+/// Partial/approximate result policy for deadline-bounded actions
+/// (`count_approx` and friends; Spark's `spark.partial.*` analogs).
+///
+/// Off by default: with `enabled: false` the approximate actions degrade to
+/// their exact counterparts — no deadline timer is armed, no evaluator is
+/// attached at submission, and every run is bit-identical to the engine
+/// without this subsystem (the acceptance bar shared with speculation and
+/// AQE).
+#[derive(Debug, Clone, Copy)]
+pub struct PartialConf {
+    /// Master switch for deadline-bounded evaluation.
+    pub enabled: bool,
+    /// Confidence level used when an approximate action does not pass one
+    /// explicitly (`count_approx(timeout)` → bounds at this level).
+    pub default_confidence: f64,
+}
+
+impl Default for PartialConf {
+    fn default() -> Self {
+        PartialConf { enabled: false, default_confidence: 0.95 }
+    }
+}
+
 /// Engine configuration (the `spark.*` properties the paper tunes, §VII-C).
 #[derive(Debug, Clone, Copy)]
 pub struct SparkConf {
@@ -216,6 +239,8 @@ pub struct SparkConf {
     pub speculation: SpeculationConf,
     /// Adaptive query execution policy.
     pub aqe: AqeConf,
+    /// Partial/approximate result policy for deadline-bounded actions.
+    pub partial: PartialConf,
     /// Cap on attempts of one stage (first run + resubmissions after
     /// `FetchFailed`); exceeding it panics the job, mirroring Spark's
     /// `spark.stage.maxConsecutiveAttempts` abort.
@@ -248,6 +273,7 @@ impl Default for SparkConf {
             retry_seed: 0,
             speculation: SpeculationConf::default(),
             aqe: AqeConf::default(),
+            partial: PartialConf::default(),
             max_stage_attempts: 4,
             trace_timeline: false,
             cost: CostModel::default(),
@@ -260,6 +286,29 @@ impl SparkConf {
     /// threads.
     pub fn paper_defaults(cores: u32) -> Self {
         SparkConf { executor_cores: cores, ..Default::default() }
+    }
+
+    /// Replace the speculation policy (builder style).
+    pub fn with_speculation(mut self, speculation: SpeculationConf) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Replace the AQE policy (builder style).
+    pub fn with_aqe(mut self, aqe: AqeConf) -> Self {
+        self.aqe = aqe;
+        self
+    }
+
+    /// Replace the partial-result policy (builder style).
+    pub fn with_partial(mut self, partial: PartialConf) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Enable deadline-bounded evaluation with the default confidence.
+    pub fn with_partial_enabled(self) -> Self {
+        self.with_partial(PartialConf { enabled: true, ..PartialConf::default() })
     }
 }
 
@@ -287,5 +336,17 @@ mod tests {
     fn paper_defaults_set_cores() {
         let c = SparkConf::paper_defaults(56);
         assert_eq!(c.executor_cores, 56);
+    }
+
+    #[test]
+    fn partial_is_off_by_default_and_builders_compose() {
+        let c = SparkConf::default();
+        assert!(!c.partial.enabled);
+        assert_eq!(c.partial.default_confidence, 0.95);
+        let c = SparkConf::default()
+            .with_partial_enabled()
+            .with_aqe(AqeConf { enabled: true, ..AqeConf::default() })
+            .with_speculation(SpeculationConf { enabled: true, ..SpeculationConf::default() });
+        assert!(c.partial.enabled && c.aqe.enabled && c.speculation.enabled);
     }
 }

@@ -28,6 +28,7 @@ pub struct MasterArgs {
     pub ext: Option<Arc<dyn std::any::Any + Send + Sync>>,
 }
 
+#[derive(Clone)]
 struct WorkerHandle {
     rpc: RpcRef,
 }
@@ -51,7 +52,10 @@ impl RpcEndpoint for MasterEndpoint {
             return;
         }
         if let Ok(app) = msg.clone().downcast::<RegisterApp>() {
-            let workers = self.workers.lock();
+            // Snapshot, then send launch commands with the lock released:
+            // each send blocks on the virtual clock, and a late
+            // `RegisterWorker` must not wedge against a held guard.
+            let workers = self.workers.lock().clone();
             if workers.len() < self.expected {
                 if let Some(reply) = reply {
                     reply(Arc::new(RegisteredApp { app_id: 0, executors: 0 }));
@@ -76,7 +80,8 @@ impl RpcEndpoint for MasterEndpoint {
             return;
         }
         if msg.downcast::<StopCluster>().is_ok() {
-            for w in self.workers.lock().iter() {
+            let workers = self.workers.lock().clone();
+            for w in &workers {
                 let _ = w.rpc.send(StopWorker);
             }
             self.stop.notify();

@@ -31,6 +31,7 @@ pub mod config;
 pub mod data;
 pub mod deploy;
 pub mod net_backend;
+pub mod partial;
 pub mod rdd;
 pub mod rpc;
 pub mod scheduler;
@@ -40,9 +41,13 @@ pub mod task;
 pub mod transfer;
 
 pub use broadcast::Broadcast;
-pub use config::{AqeConf, CostModel, SparkConf, SpeculationConf};
+pub use config::{AqeConf, CostModel, PartialConf, SparkConf, SpeculationConf};
 pub use data::{Blob, Element};
 pub use deploy::{ClusterConfig, ExecutorLauncher, ProcessBuilderLauncher};
 pub use net_backend::{NetworkBackend, Plane, PlaneDesc, ProcIdentity, Role, VanillaBackend};
-pub use rdd::Rdd;
+pub use partial::{
+    ApproximateEvaluator, AsF64, BoundedDouble, CountEvaluator, GroupedCountEvaluator,
+    MeanEvaluator, PartialResult, SumEvaluator,
+};
+pub use rdd::{JobHandle, JobOptions, JobOutcome, Rdd};
 pub use scheduler::{JobMetrics, StageMetrics};

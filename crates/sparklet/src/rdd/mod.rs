@@ -8,13 +8,19 @@
 pub mod ops;
 pub mod partitioner;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::config::SparkConf;
 use crate::data::Element;
+use crate::partial::{
+    AsF64, BoundedDouble, CountEvaluator, Erased, ErasedEvaluator, GroupedCountEvaluator,
+    MeanEvaluator, PartialResult, Stat, SumEvaluator,
+};
 use crate::rpc::AnyMsg;
 use crate::shuffle::MapStatus;
 use crate::task::TaskContext;
@@ -96,11 +102,190 @@ pub struct JobSpec {
     pub action: String,
 }
 
+/// Per-job submission options — the one seam where an action attaches
+/// approximate-evaluation state. [`JobOptions::default`] is the exact path:
+/// no evaluator, no deadline, semantics identical to the pre-`JobHandle`
+/// engine.
+#[derive(Default)]
+pub struct JobOptions {
+    /// Folds result partitions as they complete; the source of
+    /// [`JobHandle::poll`] / [`JobOutcome::partial`] answers.
+    pub evaluator: Option<Box<dyn ErasedEvaluator>>,
+    /// Virtual-clock budget from submission; when it expires before the
+    /// job completes, the scheduler abandons the remaining work and the
+    /// outcome carries the evaluator's best answer instead of exact results.
+    pub timeout_ns: Option<u64>,
+}
+
+impl JobOptions {
+    /// True when this submission rides the partial path (an evaluator or a
+    /// deadline is attached) — the `spark.partial_*` counters only move for
+    /// such jobs, keeping exact runs bit-identical to the pre-partial engine.
+    pub fn is_partial(&self) -> bool {
+        self.evaluator.is_some() || self.timeout_ns.is_some()
+    }
+}
+
+/// Shared state of one submitted job, visible to both the scheduler (which
+/// folds completions into it) and the driver's [`JobHandle`].
+pub struct JobState {
+    total: usize,
+    partial: bool,
+    eval: Mutex<Option<Box<dyn ErasedEvaluator>>>,
+    seen: AtomicUsize,
+    deadline_fired: AtomicBool,
+    done: simt::sync::OnceCell<Option<Vec<AnyMsg>>>,
+}
+
+impl JobState {
+    pub(crate) fn new(total: usize, opts: JobOptions) -> Arc<JobState> {
+        let partial = opts.is_partial();
+        Arc::new(JobState {
+            total,
+            partial,
+            eval: Mutex::new(opts.evaluator),
+            seen: AtomicUsize::new(0),
+            deadline_fired: AtomicBool::new(false),
+            done: simt::sync::OnceCell::new(),
+        })
+    }
+
+    /// Fold one completed result partition. Called by the scheduler exactly
+    /// once per result partition, in virtual completion order (first-finish
+    /// dedup upstream); pure host arithmetic, charges no virtual time.
+    pub(crate) fn observe(&self, part: usize, result: &AnyMsg, obs: &obs::Obs) {
+        if let Some(eval) = self.eval.lock().as_mut() {
+            eval.merge(part, result);
+        }
+        self.seen.fetch_add(1, Ordering::SeqCst);
+        if self.partial {
+            obs.registry().counter(obs::keys::SPARK_PARTIAL_PARTITIONS_SEEN).inc();
+        }
+    }
+
+    /// Record that the job's deadline fired before completion.
+    pub(crate) fn mark_expired(&self) {
+        self.deadline_fired.store(true, Ordering::SeqCst);
+    }
+
+    /// Publish the job's terminal state: `Some(results)` on completion,
+    /// `None` when the deadline cut it short.
+    pub(crate) fn complete(&self, results: Option<Vec<AnyMsg>>) {
+        self.done.put(results);
+    }
+
+    fn current<R: Clone + Send + Sync + 'static>(&self) -> Option<PartialResult<R>> {
+        let guard = self.eval.lock();
+        let eval = guard.as_ref()?;
+        let seen = self.seen.load(Ordering::SeqCst);
+        let msg = eval.current(seen, self.total);
+        let value = msg.downcast_ref::<R>().expect("evaluator output type").clone();
+        Some(PartialResult {
+            value,
+            partitions_seen: seen,
+            total_partitions: self.total,
+            is_final: seen >= self.total,
+        })
+    }
+}
+
+/// A submitted job. Await it with [`wait`](JobHandle::wait), or observe it
+/// while it runs: [`poll`](JobHandle::poll) reads the evaluator's running
+/// answer, the counters report progress. The handle does not cancel on
+/// drop — an abandoned job runs to completion (or to its deadline).
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(state: Arc<JobState>) -> JobHandle {
+        JobHandle { state }
+    }
+
+    /// Block (in virtual time) until the job completes or its deadline
+    /// fires, whichever comes first.
+    pub fn wait(self) -> JobOutcome {
+        let results = self.state.done.take();
+        JobOutcome { state: self.state, results }
+    }
+
+    /// The evaluator's answer over the partitions folded so far. `None`
+    /// when the job was submitted without an evaluator.
+    pub fn poll<R: Clone + Send + Sync + 'static>(&self) -> Option<PartialResult<R>> {
+        self.state.current::<R>()
+    }
+
+    /// Result partitions folded so far.
+    pub fn partitions_seen(&self) -> usize {
+        self.state.seen.load(Ordering::SeqCst)
+    }
+
+    /// Result partitions the job computes in full.
+    pub fn total_partitions(&self) -> usize {
+        self.state.total
+    }
+
+    /// True once the deadline fired (the job will not produce exact results).
+    pub fn deadline_fired(&self) -> bool {
+        self.state.deadline_fired.load(Ordering::SeqCst)
+    }
+
+    /// True once the job reached a terminal state (completed or expired).
+    pub fn is_complete(&self) -> bool {
+        self.state.done.is_ready()
+    }
+}
+
+/// Terminal state of a job: exact per-partition results when it ran to
+/// completion, or the evaluator's best partial answer when the deadline
+/// fired first.
+pub struct JobOutcome {
+    state: Arc<JobState>,
+    results: Option<Vec<AnyMsg>>,
+}
+
+impl JobOutcome {
+    /// Exact per-partition results, in partition order; `None` when the
+    /// deadline fired before completion.
+    pub fn results(&self) -> Option<&Vec<AnyMsg>> {
+        self.results.as_ref()
+    }
+
+    /// Unwrap exact results — the path every blocking action takes (no
+    /// deadline attached, so completion is the only terminal state).
+    pub fn into_results(self) -> Vec<AnyMsg> {
+        self.results.expect("job ran to completion (no deadline attached)")
+    }
+
+    /// True when the deadline fired before completion.
+    pub fn deadline_fired(&self) -> bool {
+        self.state.deadline_fired.load(Ordering::SeqCst)
+    }
+
+    /// Result partitions folded into the evaluator.
+    pub fn partitions_seen(&self) -> usize {
+        self.state.seen.load(Ordering::SeqCst)
+    }
+
+    /// Result partitions the job would compute in full.
+    pub fn total_partitions(&self) -> usize {
+        self.state.total
+    }
+
+    /// The evaluator's answer — exact when the job completed, a confidence
+    /// interval over `{partitions_seen, total}` when the deadline fired.
+    pub fn partial<R: Clone + Send + Sync + 'static>(&self) -> PartialResult<R> {
+        self.state.current::<R>().expect("approximate job submitted with an evaluator")
+    }
+}
+
 /// Executes jobs (implemented by the DAG scheduler; test harnesses may
 /// substitute a local runner).
 pub trait JobRunner: Send + Sync + 'static {
-    /// Run to completion; returns per-partition results in order.
-    fn run_job(&self, job: JobSpec) -> Vec<AnyMsg>;
+    /// Submit a job; returns immediately with a handle. Exact actions wait
+    /// on the handle; approximate actions attach an evaluator and a
+    /// deadline through `opts`.
+    fn submit_job(&self, job: JobSpec, opts: JobOptions) -> JobHandle;
 }
 
 /// Application-level shared state: id generators, configuration, and the
@@ -139,9 +324,14 @@ impl AppCore {
         self.next_shuffle.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Submit a job.
+    /// Submit a job with options (the one submission seam).
+    pub fn submit(&self, job: JobSpec, opts: JobOptions) -> JobHandle {
+        self.runner.submit_job(job, opts)
+    }
+
+    /// Submit on the exact path and block until completion.
     pub fn run(&self, job: JobSpec) -> Vec<AnyMsg> {
-        self.runner.run_job(job)
+        self.submit(job, JobOptions::default()).wait().into_results()
     }
 }
 
@@ -301,12 +491,16 @@ impl<T: Element> Rdd<T> {
 
     // --- actions ----------------------------------------------------------
 
-    /// Run `f` over every partition's records; returns per-partition values.
-    pub fn run_partitions<R: Send + Sync + 'static>(
+    /// Submit a job running `f` over every partition's records — **the**
+    /// job-submission seam. Every action (blocking or approximate) funnels
+    /// through here; blocking actions pass `JobOptions::default()` and wait,
+    /// approximate actions attach an evaluator and a deadline.
+    pub fn submit_job<R: Send + Sync + 'static>(
         &self,
         action: &str,
         f: impl Fn(&TaskContext, Vec<T>) -> R + Send + Sync + 'static,
-    ) -> Vec<Arc<R>> {
+        opts: JobOptions,
+    ) -> JobHandle {
         let f = Arc::new(f);
         let result_tasks: Vec<Arc<dyn TaskRunner>> = (0..self.num_partitions())
             .map(|p| {
@@ -330,7 +524,26 @@ impl<T: Element> Rdd<T> {
             adaptive,
             action: action.to_string(),
         };
-        self.core.run(job).into_iter().map(|r| r.downcast::<R>().expect("result type")).collect()
+        self.core.submit(job, opts)
+    }
+
+    /// Run `f` over every partition's records; returns per-partition values.
+    pub fn run_partitions<R: Send + Sync + 'static>(
+        &self,
+        action: &str,
+        f: impl Fn(&TaskContext, Vec<T>) -> R + Send + Sync + 'static,
+    ) -> Vec<Arc<R>> {
+        self.submit_job(action, f, JobOptions::default())
+            .wait()
+            .into_results()
+            .into_iter()
+            .map(|r| r.downcast::<R>().expect("result type"))
+            .collect()
+    }
+
+    /// Resolve an optional per-call confidence against the conf default.
+    fn confidence(&self, confidence: impl Into<Option<f64>>) -> f64 {
+        confidence.into().unwrap_or(self.core.conf.partial.default_confidence)
     }
 
     /// Number of records.
@@ -360,6 +573,100 @@ impl<T: Element> Rdd<T> {
         // One pass over all partitions (no incremental scan — fine at
         // simulation scale).
         self.collect().into_iter().take(n).collect()
+    }
+
+    // --- approximate actions ----------------------------------------------
+
+    /// Approximate record count with a virtual-clock budget: if the job has
+    /// not completed after `timeout_ns`, the answer is a confidence
+    /// interval extrapolated from the partitions seen so far
+    /// (`confidence: None` uses `partial.default_confidence`).
+    ///
+    /// With `partial.enabled == false` this degrades to the exact `count`
+    /// job — same spec, same action label, same timings.
+    pub fn count_approx(
+        &self,
+        timeout_ns: u64,
+        confidence: impl Into<Option<f64>>,
+    ) -> PartialResult<BoundedDouble> {
+        let f = |_ctx: &TaskContext, v: Vec<T>| v.len() as u64;
+        if !self.core.conf.partial.enabled {
+            let total = self.num_partitions();
+            let n: u64 = self.run_partitions("count", f).iter().map(|x| **x).sum();
+            return PartialResult {
+                value: BoundedDouble::exact(n as f64),
+                partitions_seen: total,
+                total_partitions: total,
+                is_final: true,
+            };
+        }
+        let evaluator = Erased::boxed(CountEvaluator::new(self.confidence(confidence)));
+        let opts = JobOptions { evaluator: Some(evaluator), timeout_ns: Some(timeout_ns) };
+        self.submit_job("count_approx", f, opts).wait().partial::<BoundedDouble>()
+    }
+}
+
+impl<T: Element + AsF64> Rdd<T> {
+    /// Per-partition numeric summary task shared by the `sum`/`mean`
+    /// approximations: one narrow pass projecting each record to `f64`.
+    fn stat_task() -> impl Fn(&TaskContext, Vec<T>) -> Stat + Send + Sync + 'static {
+        |ctx: &TaskContext, v: Vec<T>| {
+            ctx.charge(ctx.cost().map(v.len() as u64, 0));
+            Stat::of(v.iter().map(AsF64::as_f64))
+        }
+    }
+
+    /// Approximate sum under a virtual-clock deadline; see
+    /// [`count_approx`](Rdd::count_approx) for the timeout/confidence
+    /// semantics. Disabled partial conf degrades to the exact sum.
+    pub fn sum_approx(
+        &self,
+        timeout_ns: u64,
+        confidence: impl Into<Option<f64>>,
+    ) -> PartialResult<BoundedDouble> {
+        if !self.core.conf.partial.enabled {
+            let total = self.num_partitions();
+            let sum: f64 =
+                self.run_partitions("sum", Self::stat_task()).iter().map(|s| s.sum).sum();
+            return PartialResult {
+                value: BoundedDouble::exact(sum),
+                partitions_seen: total,
+                total_partitions: total,
+                is_final: true,
+            };
+        }
+        let evaluator = Erased::boxed(SumEvaluator::new(self.confidence(confidence)));
+        let opts = JobOptions { evaluator: Some(evaluator), timeout_ns: Some(timeout_ns) };
+        self.submit_job("sum_approx", Self::stat_task(), opts).wait().partial::<BoundedDouble>()
+    }
+
+    /// Approximate mean under a virtual-clock deadline; see
+    /// [`count_approx`](Rdd::count_approx) for the timeout/confidence
+    /// semantics. Disabled partial conf degrades to the exact mean.
+    pub fn mean_approx(
+        &self,
+        timeout_ns: u64,
+        confidence: impl Into<Option<f64>>,
+    ) -> PartialResult<BoundedDouble> {
+        if !self.core.conf.partial.enabled {
+            let total = self.num_partitions();
+            let mut pooled = Stat::default();
+            for s in self.run_partitions("mean", Self::stat_task()) {
+                pooled.n += s.n;
+                pooled.sum += s.sum;
+                pooled.sum_sq += s.sum_sq;
+            }
+            let mean = if pooled.n == 0 { f64::NAN } else { pooled.sum / pooled.n as f64 };
+            return PartialResult {
+                value: BoundedDouble::exact(mean),
+                partitions_seen: total,
+                total_partitions: total,
+                is_final: true,
+            };
+        }
+        let evaluator = Erased::boxed(MeanEvaluator::new(self.confidence(confidence)));
+        let opts = JobOptions { evaluator: Some(evaluator), timeout_ns: Some(timeout_ns) };
+        self.submit_job("mean_approx", Self::stat_task(), opts).wait().partial::<BoundedDouble>()
     }
 }
 
@@ -599,6 +906,56 @@ where
         self.map(|(k, _)| (k, 1u64))
             .reduce_by_key(self.num_partitions().max(1), |a, b| a + b)
             .collect()
+    }
+
+    /// Per-partition key histogram task shared by the `count_by_key`
+    /// approximation: local aggregation only, no shuffle (Spark's
+    /// `countByKeyApprox` shape), so every completed partition refines
+    /// every key's interval.
+    fn key_histogram_task(
+    ) -> impl Fn(&TaskContext, Vec<(K, V)>) -> Vec<(K, u64)> + Send + Sync + 'static {
+        |ctx: &TaskContext, v: Vec<(K, V)>| {
+            ctx.charge(ctx.cost().group(v.len() as u64, 0));
+            let mut hist: BTreeMap<K, u64> = BTreeMap::new();
+            for (k, _) in v {
+                *hist.entry(k).or_insert(0) += 1;
+            }
+            hist.into_iter().collect()
+        }
+    }
+
+    /// Approximate per-key counts under a virtual-clock deadline: each
+    /// key's total is a [`BoundedDouble`] extrapolated from the partitions
+    /// seen (see [`count_approx`](Rdd::count_approx) for timeout/confidence
+    /// semantics). Disabled partial conf degrades to exact local counting.
+    pub fn count_by_key_approx(
+        &self,
+        timeout_ns: u64,
+        confidence: impl Into<Option<f64>>,
+    ) -> PartialResult<Vec<(K, BoundedDouble)>> {
+        if !self.core.conf.partial.enabled {
+            let total = self.num_partitions();
+            let mut merged: BTreeMap<K, u64> = BTreeMap::new();
+            for part in self.run_partitions("count_by_key_local", Self::key_histogram_task()) {
+                for (k, c) in part.iter() {
+                    *merged.entry(k.clone()).or_insert(0) += c;
+                }
+            }
+            return PartialResult {
+                value: merged
+                    .into_iter()
+                    .map(|(k, c)| (k, BoundedDouble::exact(c as f64)))
+                    .collect(),
+                partitions_seen: total,
+                total_partitions: total,
+                is_final: true,
+            };
+        }
+        let evaluator = Erased::boxed(GroupedCountEvaluator::<K>::new(self.confidence(confidence)));
+        let opts = JobOptions { evaluator: Some(evaluator), timeout_ns: Some(timeout_ns) };
+        self.submit_job("count_by_key_approx", Self::key_histogram_task(), opts)
+            .wait()
+            .partial::<Vec<(K, BoundedDouble)>>()
     }
 
     /// The keys.

@@ -200,7 +200,15 @@ impl RpcEnv {
 
     /// Tear down outgoing connections and the server endpoint.
     pub fn shutdown(&self) {
-        for c in std::mem::take(&mut *self.clients.lock()).into_values() {
+        // Snapshot under the lock, close outside it. `close()` charges
+        // virtual send time for the FIN frame — a simt wait point — and
+        // writing `for c in ...lock()...` would hold the guard across it
+        // (the iterator expression's temporary lives for the whole loop).
+        // A deadline-expired job can still have tasks in flight here, and
+        // their completion sends must be able to take this lock meanwhile.
+        let clients: Vec<TransportClient> =
+            std::mem::take(&mut *self.clients.lock()).into_values().collect();
+        for c in clients {
             c.close();
         }
         let names: Vec<String> = self.endpoints.lock().keys().cloned().collect();

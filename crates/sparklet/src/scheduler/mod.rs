@@ -20,7 +20,7 @@ mod stage;
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::Mutex;
 use simt::queue::Queue;
@@ -28,7 +28,9 @@ use simt::queue::Queue;
 use crate::config::SparkConf;
 use crate::data::Element;
 use crate::rdd::ops::{GenerateRdd, ParallelizeRdd};
-use crate::rdd::{AppCore, JobRunner, JobSpec, Rdd, TaskOutput, TaskRunner};
+use crate::rdd::{
+    AppCore, JobHandle, JobOptions, JobRunner, JobSpec, JobState, Rdd, TaskOutput, TaskRunner,
+};
 use crate::rpc::{AnyMsg, ReplyFn, RpcEndpoint, RpcEnv, RpcRef};
 use crate::shuffle::MapOutputTrackerMaster;
 
@@ -191,6 +193,13 @@ pub(crate) enum SchedEvent {
         output: TaskOutput,
         metrics: obs::MetricsSnapshot,
     },
+    /// A job's virtual-clock deadline fired ([`simt::DeadlineTimer`] posts
+    /// this from the engine thread, totally ordered with task completions).
+    /// Stale instances — the job already completed, or a later job is
+    /// draining the queue — are dropped by the `job_id` check.
+    DeadlineExpired {
+        job_id: u32,
+    },
 }
 
 /// A registered executor.
@@ -207,6 +216,11 @@ pub struct ExecutorHandle {
 /// The driver-side scheduler.
 pub struct DagScheduler {
     env: OnceLock<Arc<RpcEnv>>,
+    /// Weak self-pointer so `submit_job` can hand an owned reference to the
+    /// per-job driver green thread; bound once by [`bind_self`].
+    ///
+    /// [`bind_self`]: DagScheduler::bind_self
+    self_ref: OnceLock<Weak<DagScheduler>>,
     conf: SparkConf,
     executors: Mutex<Vec<ExecutorHandle>>,
     events: Queue<SchedEvent>,
@@ -239,6 +253,7 @@ impl DagScheduler {
     pub fn with_conf(conf: SparkConf) -> Self {
         DagScheduler {
             env: OnceLock::new(),
+            self_ref: OnceLock::new(),
             conf,
             executors: Mutex::new(Vec::new()),
             events: Queue::new(),
@@ -257,6 +272,21 @@ impl DagScheduler {
         let _ = self.env.set(env);
     }
 
+    /// Bind the scheduler's own `Arc` so job submission can spawn per-job
+    /// driver threads holding an owned reference. Idempotent; called by
+    /// `SparkContext` construction (and directly by harnesses that drive
+    /// the scheduler without a context).
+    pub fn bind_self(self: &Arc<Self>) {
+        let _ = self.self_ref.set(Arc::downgrade(self));
+    }
+
+    fn owned(&self) -> Arc<DagScheduler> {
+        self.self_ref
+            .get()
+            .and_then(Weak::upgrade)
+            .expect("DagScheduler::bind_self called before job submission")
+    }
+
     /// Block until `n` executors have registered.
     pub fn wait_for_executors(&self, n: usize) {
         loop {
@@ -265,6 +295,9 @@ impl DagScheduler {
             }
             match self.events.recv().expect("scheduler event queue open") {
                 SchedEvent::ExecutorRegistered => {}
+                // A previous job's deadline can still be armed while the
+                // next app phase waits for executors; it is void by now.
+                SchedEvent::DeadlineExpired { .. } => {}
                 SchedEvent::TaskFinished { .. } => {
                     panic!("task completion before any job was submitted")
                 }
@@ -290,27 +323,55 @@ impl DagScheduler {
 }
 
 impl JobRunner for DagScheduler {
-    fn run_job(&self, job: JobSpec) -> Vec<AnyMsg> {
+    fn submit_job(&self, job: JobSpec, opts: JobOptions) -> JobHandle {
         assert!(
             !self.job_running.swap(true, Ordering::SeqCst),
             "concurrent jobs are not supported; run jobs sequentially from one driver thread"
         );
         let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
         let obs = self.obs();
-        let _span = obs
-            .is_traced()
-            .then(|| obs.span("spark.job", obs::kv! {"job_id" => job_id, "action" => &job.action}));
-        let start_ns = simt::now();
-        let (results, stages) = stage::run_job(self, &job, job_id);
-        self.metrics.lock().push(JobMetrics {
-            job_id,
-            action: job.action,
-            start_ns,
-            end_ns: simt::now(),
-            stages,
+        let partial = opts.is_partial();
+        let timeout_ns = opts.timeout_ns;
+        let state = JobState::new(job.result_tasks.len(), opts);
+        if partial {
+            obs.registry().counter(obs::keys::SPARK_PARTIAL_JOBS).inc();
+        }
+        // Arm the deadline before the job thread starts so a zero timeout
+        // still totally orders ahead of every task completion.
+        let timer = timeout_ns.map(|t| {
+            let events = self.events.clone();
+            simt::DeadlineTimer::after(t, move || {
+                events.send(SchedEvent::DeadlineExpired { job_id })
+            })
         });
-        self.job_running.store(false, Ordering::SeqCst);
-        results
+        let sched = self.owned();
+        let st = state.clone();
+        // Each job runs on its own green thread driving the stage engine;
+        // the submitting thread gets the handle back immediately (blocking
+        // actions wait on it, approximate actions poll it). Spawning and
+        // queue handoff charge no virtual time, so a waited job keeps the
+        // exact timings of the old synchronous `run_job`.
+        simt::spawn(format!("job-{job_id}-driver"), move || {
+            let obs = sched.obs();
+            let _span = obs.is_traced().then(|| {
+                obs.span("spark.job", obs::kv! {"job_id" => job_id, "action" => &job.action})
+            });
+            let start_ns = simt::now();
+            let (results, stages) = stage::run_job(&sched, &job, job_id, &st);
+            if let Some(t) = &timer {
+                t.cancel();
+            }
+            sched.metrics.lock().push(JobMetrics {
+                job_id,
+                action: job.action,
+                start_ns,
+                end_ns: simt::now(),
+                stages,
+            });
+            sched.job_running.store(false, Ordering::SeqCst);
+            st.complete(results);
+        });
+        JobHandle::new(state)
     }
 }
 
@@ -367,6 +428,7 @@ impl SparkContext {
         sched: Arc<DagScheduler>,
         broadcasts: Arc<crate::broadcast::BroadcastRegistry>,
     ) -> Self {
+        sched.bind_self();
         let core = AppCore::new(conf, default_parallelism, sched.clone());
         SparkContext { core, sched, broadcasts }
     }

@@ -25,7 +25,7 @@ use simt::queue::RecvError;
 
 use crate::aqe::{self, AdaptiveJobSpec, BucketResults, SlicePartial};
 use crate::config::SpeculationConf;
-use crate::rdd::{JobSpec, ShuffleDepMeta, TaskOutput, TaskRunner};
+use crate::rdd::{JobSpec, JobState, ShuffleDepMeta, TaskOutput, TaskRunner};
 use crate::rpc::AnyMsg;
 
 use super::speculation::{pick_speculation_target, DurationStats};
@@ -60,27 +60,52 @@ impl StageTasks<'_> {
     }
 }
 
-/// Run `job` to completion under `sched`; returns per-partition results in
-/// partition order plus the recorded stage metrics.
+/// How the adaptive path resolved.
+enum Adaptive {
+    /// Planned, ran, produced every partition's result.
+    Done(Vec<AnyMsg>),
+    /// Planner declined (arity mismatch); take the static path.
+    Declined,
+    /// The job's deadline fired mid-plan; completed buckets were folded
+    /// into the job state, no exact results exist.
+    Expired,
+}
+
+/// Run `job` under `sched` until completion or deadline expiry; returns
+/// `Some` per-partition results in partition order (`None` when the
+/// deadline fired first) plus the recorded stage metrics. Completed result
+/// partitions fold into `state` as they arrive, so an expired job's best
+/// partial answer is already in the evaluator when this returns.
 pub(super) fn run_job(
     sched: &DagScheduler,
     job: &JobSpec,
     job_id: u32,
-) -> (Vec<AnyMsg>, Vec<StageMetrics>) {
-    let mut eng = JobEngine { sched, job, job_id, stages: Vec::new() };
+    state: &JobState,
+) -> (Option<Vec<AnyMsg>>, Vec<StageMetrics>) {
+    let mut eng = JobEngine { sched, job, job_id, state, expired: false, stages: Vec::new() };
     for dep in &job.shuffle_stages {
         eng.ensure_shuffle(dep);
+        if eng.expired {
+            // Expired before any result partition: the evaluator has seen
+            // nothing, the answer is the zero-information interval.
+            return (None, eng.stages);
+        }
     }
     // Map outputs are in; this is the AQE decision point. The planner may
     // decline (arity mismatch), in which case the static path below runs.
     if let Some(ad) = &job.adaptive {
-        if let Some(results) = eng.run_adaptive(ad.as_ref()) {
-            return (results, eng.stages);
+        match eng.run_adaptive(ad.as_ref()) {
+            Adaptive::Done(results) => return (Some(results), eng.stages),
+            Adaptive::Expired => return (None, eng.stages),
+            Adaptive::Declined => {}
         }
     }
     let parts: Vec<usize> = (0..job.result_tasks.len()).collect();
     let outs =
         eng.run_to_completion(format!("Job{job_id}-ResultStage"), &StageTasks::Result, parts);
+    if eng.expired {
+        return (None, eng.stages);
+    }
     let mut results_by_part: Vec<Option<AnyMsg>> =
         (0..job.result_tasks.len()).map(|_| None).collect();
     for (part, out) in outs {
@@ -91,13 +116,18 @@ pub(super) fn run_job(
     }
     let results =
         results_by_part.into_iter().map(|o| o.expect("every result partition completed")).collect();
-    (results, eng.stages)
+    (Some(results), eng.stages)
 }
 
 struct JobEngine<'a> {
     sched: &'a DagScheduler,
     job: &'a JobSpec,
     job_id: u32,
+    /// Shared job state: evaluator folds and progress counters.
+    state: &'a JobState,
+    /// Set when this job's `DeadlineExpired` event is consumed; every layer
+    /// above unwinds without scheduling further work.
+    expired: bool,
     stages: Vec<StageMetrics>,
 }
 
@@ -114,7 +144,9 @@ impl JobEngine<'_> {
         }
         let missing = self.sched.tracker.missing_maps(id);
         self.run_map_stage(dep, missing, already);
-        self.sched.computed_shuffles.lock().insert(id);
+        if !self.expired {
+            self.sched.computed_shuffles.lock().insert(id);
+        }
     }
 
     /// Compute map partitions `maps` of `dep`'s shuffle and register their
@@ -142,14 +174,21 @@ impl JobEngine<'_> {
     /// registered map-output sizes, execute the planned tasks (reusing the
     /// full attempt/recovery/speculation machinery), merge split buckets,
     /// and reassemble one result per original reduce partition. Returns
-    /// `None` when the job's result arity does not match the terminal
-    /// shuffle's reduce count (the action does not run directly over the
-    /// shuffle read) — the caller then takes the static path.
-    fn run_adaptive(&mut self, ad: &dyn AdaptiveJobSpec) -> Option<Vec<AnyMsg>> {
+    /// [`Adaptive::Declined`] when the job's result arity does not match
+    /// the terminal shuffle's reduce count (the action does not run
+    /// directly over the shuffle read) — the caller then takes the static
+    /// path.
+    ///
+    /// Evaluator folding happens at bucket-routing time rather than task
+    /// completion: an adaptive task covers several buckets (coalesced) or a
+    /// fraction of one (slice), so per-*partition* results only exist once
+    /// routed. On expiry, complete buckets fold; split buckets whose merge
+    /// never ran stay unseen (post-deadline work is never scheduled).
+    fn run_adaptive(&mut self, ad: &dyn AdaptiveJobSpec) -> Adaptive {
         let dep = ad.dep();
         let num_reduces = dep.num_reduces();
         if num_reduces != self.job.result_tasks.len() {
-            return None;
+            return Adaptive::Declined;
         }
         let sched = self.sched;
         let (epoch, rows) = sched.tracker.size_matrix(dep.shuffle_id());
@@ -202,6 +241,10 @@ impl JobEngine<'_> {
                 }
             }
         }
+        if self.expired {
+            self.fold_buckets(&by_bucket);
+            return Adaptive::Expired;
+        }
         if !partials.is_empty() {
             let merges: Vec<Arc<dyn TaskRunner>> = partials
                 .into_iter()
@@ -227,7 +270,12 @@ impl JobEngine<'_> {
                     by_bucket[*bucket as usize] = Some(res.clone());
                 }
             }
+            if self.expired {
+                self.fold_buckets(&by_bucket);
+                return Adaptive::Expired;
+            }
         }
+        self.fold_buckets(&by_bucket);
 
         // Recovery mid-stage may have recomputed map outputs under a bumped
         // epoch; recomputation is deterministic, so a replan over the
@@ -238,12 +286,24 @@ impl JobEngine<'_> {
         let replan = aqe::plan(&now_slices, &sched.conf.aqe);
         assert_eq!(replan, plan, "replan after recovery diverged from the executed plan");
 
-        Some(
+        Adaptive::Done(
             by_bucket
                 .into_iter()
                 .map(|o| o.expect("every reduce bucket produced a result"))
                 .collect(),
         )
+    }
+
+    /// Fold every routed bucket result into the job's evaluator (ascending
+    /// bucket order — deterministic; the adaptive path has no meaningful
+    /// per-partition completion order once tasks span buckets).
+    fn fold_buckets(&self, by_bucket: &[Option<AnyMsg>]) {
+        let obs = self.sched.obs();
+        for (bucket, res) in by_bucket.iter().enumerate() {
+            if let Some(r) = res {
+                self.state.observe(bucket, r, &obs);
+            }
+        }
     }
 
     /// Drive one stage through as many attempts as it takes. Successful
@@ -264,7 +324,11 @@ impl JobEngine<'_> {
             let (sm, done, failures) = self.run_attempt(&name, kind, &needed, attempt);
             self.stages.push(sm);
             collected.extend(done);
-            if failures.is_empty() {
+            // Deadline expiry aborts mid-attempt: hand back whatever
+            // completed — no recovery, no resubmission, no further stages.
+            // Lost partitions (including a quarantined executor's) simply
+            // stay unseen by the evaluator.
+            if self.expired || failures.is_empty() {
                 collected.sort_by_key(|(p, _)| *p);
                 return collected;
             }
@@ -398,6 +462,31 @@ impl JobEngine<'_> {
             };
             match event {
                 SchedEvent::ExecutorRegistered => {}
+                SchedEvent::DeadlineExpired { job_id } => {
+                    // Stale deadline of an earlier job: a cancelled timer
+                    // never posts, but a timer that fired just as its job
+                    // completed can leave an event for the next job's loop.
+                    if job_id != self.job_id {
+                        continue;
+                    }
+                    self.state.mark_expired();
+                    self.expired = true;
+                    obs.registry().counter(obs::keys::SPARK_PARTIAL_DEADLINES_FIRED).inc();
+                    obs.event(
+                        "spark.job.deadline",
+                        obs::kv! {
+                            "job_id" => job_id,
+                            "stage" => name,
+                            "stage_done" => done,
+                            "stage_tasks" => n,
+                        },
+                    );
+                    // Abort the attempt: in-flight tasks keep running on
+                    // the executors, but their completions carry this
+                    // attempt's stage_seq and are dropped as stale by
+                    // whatever loop drains them next.
+                    break;
+                }
                 SchedEvent::TaskFinished {
                     stage_seq: s,
                     part,
@@ -426,7 +515,18 @@ impl JobEngine<'_> {
                         TaskOutput::FetchFailed { shuffle_id, exec_id, map_id: _ } => {
                             failures.push(FetchFailure { shuffle_id, exec_id });
                         }
-                        other => outputs.push((part, other)),
+                        other => {
+                            // The fold seam: result partitions stream into
+                            // the job's evaluator in completion order.
+                            // (Adaptive stages are `Fixed` and fold at
+                            // bucket routing instead — task ≠ partition.)
+                            if matches!(kind, StageTasks::Result) {
+                                if let TaskOutput::Result(r) = &other {
+                                    self.state.observe(part, r, &obs);
+                                }
+                            }
+                            outputs.push((part, other));
+                        }
                     }
                 }
             }

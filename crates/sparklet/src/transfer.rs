@@ -362,7 +362,12 @@ impl BlockTransferService for NettyBlockTransferService {
     }
 
     fn close(&self) {
-        for c in std::mem::take(&mut *self.clients.lock()).into_values() {
+        // Snapshot under the lock, close outside it: `close()` blocks on the
+        // virtual clock to ship the FIN frame, and an expired job's in-flight
+        // reduce tasks still fetch through this cache during teardown.
+        let clients: Vec<TransportClient> =
+            std::mem::take(&mut *self.clients.lock()).into_values().collect();
+        for c in clients {
             c.close();
         }
         self.endpoint.shutdown();

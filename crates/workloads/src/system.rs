@@ -114,6 +114,23 @@ impl<R> RunOutcome<R> {
     pub fn aqe_coalesced_tasks(&self) -> u64 {
         self.metrics.counter(obs::keys::SPARK_AQE_COALESCED_TASKS)
     }
+
+    /// Jobs submitted on the partial/approximate path — an evaluator or
+    /// deadline was attached (0 with the partial subsystem disabled).
+    pub fn partial_results(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_PARTIAL_JOBS)
+    }
+
+    /// True when at least one job's deadline fired before completion, i.e.
+    /// some action returned an approximate answer.
+    pub fn deadline_fired(&self) -> bool {
+        self.metrics.counter(obs::keys::SPARK_PARTIAL_DEADLINES_FIRED) > 0
+    }
+
+    /// Result partitions folded into approximate evaluators across the run.
+    pub fn partial_partitions_seen(&self) -> u64 {
+        self.metrics.counter(obs::keys::SPARK_PARTIAL_PARTITIONS_SEEN)
+    }
 }
 
 impl System {

@@ -30,6 +30,13 @@ echo "==> recovery matrix (stage resubmission + speculation)"
 echo "==> AQE matrix (adaptive vs static oracle + planner proptests)"
 "$CARGO" test -q -p sparklet --test aqe_tests "$@"
 
+# Partial-result matrix: approximate actions with never-firing deadlines
+# must equal the exact actions on all four backends, a mid-recovery
+# deadline must yield a deterministic interval that brackets the truth,
+# and the disabled subsystem must be bit-identical to the exact engine.
+echo "==> partial matrix (JobHandle + approximate actions)"
+"$CARGO" test -q -p sparklet --test partial_tests "$@"
+
 # Randomized-seed smoke: every run exercises a fresh fault schedule. The
 # seed is printed up front — replaying a failure is
 # `CHAOS_SEED=<seed> scripts/ci.sh` (the whole run is a pure function of
@@ -91,6 +98,14 @@ echo "==> recovery smoke (crash + slowdown cells, small scale)"
 # GroupBy job improves at least 2x.
 echo "==> AQE smoke (zipfian GroupBy, static vs adaptive, small scale)"
 "$CARGO" run -q --release -p mpi4spark-bench --bin bench_aqe "$@" -- --scale small
+
+# Partial smoke: the deadline sweep on a straggler fabric at small scale.
+# The binary asserts unbounded runs count exactly, budgets bound the job's
+# virtual time, coverage grows with the budget, intervals with >= 2 folded
+# partitions bracket the true group count, and a same-seed bounded re-run
+# is byte-identical.
+echo "==> partial smoke (deadline sweep on straggler fabric, small scale)"
+"$CARGO" run -q --release -p mpi4spark-bench --bin bench_partial "$@" -- --scale small
 
 echo "==> detlint (determinism D1-D6, lock-order L1, protocol P1-P3)"
 "$CARGO" run -q --release -p detlint
